@@ -1,0 +1,42 @@
+"""Ablation A2 — reconfiguration cost (α) sweep.
+
+The competitive bound carries a factor γ = 1 + ℓ_max/α, and the Theorem 1
+filter forwards every ⌈α/ℓ_e⌉-th request, so α controls how eagerly R-BMA
+reconfigures.  This ablation sweeps α on the Facebook-database-like workload
+and reports total cost (routing + reconfiguration) for R-BMA, BMA, and the
+oblivious baseline.
+"""
+
+import _harness as harness
+
+from repro.config import SweepConfig
+from repro.simulation import run_sweep
+
+ALPHA_VALUES = (1.0, 4.0, 16.0, 40.0, 120.0)
+
+
+def _run_sweep():
+    sweep = SweepConfig(b_values=(12,), alpha_values=ALPHA_VALUES,
+                        algorithms=("rbma", "bma", "oblivious"))
+    return run_sweep(
+        sweep,
+        workload="facebook-database",
+        workload_kwargs={"n_nodes": 100,
+                         "n_requests": harness.scaled_requests(350_000)},
+        repetitions=harness.bench_repetitions(),
+        base_seed=13,
+        checkpoints=5,
+    )
+
+
+def test_ablation_alpha(benchmark):
+    results = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    lines = ["Ablation A2 — reconfiguration cost sweep (b = 12)",
+             f"{'algorithm':<12} {'alpha':>8} {'routing':>12} {'reconfig':>12} {'total':>12}"]
+    for r in results:
+        reconfig = r.series.reconfiguration_cost[-1]
+        lines.append(
+            f"{r.algorithm:<12} {r.alpha:>8.0f} {r.routing_cost_mean:>12.0f} "
+            f"{reconfig:>12.0f} {r.routing_cost_mean + reconfig:>12.0f}"
+        )
+    harness.write_output("ablation_alpha", "\n".join(lines))

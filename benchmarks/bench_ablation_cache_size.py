@@ -1,0 +1,37 @@
+"""Ablation A1 — cache size (b) sweep.
+
+The paper varies b over three values per figure; this ablation sweeps a wider
+range on the Facebook-database-like workload to show the diminishing-returns
+curve of adding optical switches, for both R-BMA and BMA, together with the
+matched-traffic share.
+"""
+
+import _harness as harness
+
+from repro.analysis import format_comparison_table
+from repro.config import SweepConfig
+from repro.simulation import run_sweep
+
+B_VALUES = (1, 2, 4, 6, 9, 12, 18, 24)
+
+
+def _run_sweep():
+    sweep = SweepConfig(b_values=B_VALUES, alpha_values=(harness.DEFAULT_ALPHA,),
+                        algorithms=("rbma", "bma", "oblivious"))
+    results = run_sweep(
+        sweep,
+        workload="facebook-database",
+        workload_kwargs={"n_nodes": 100,
+                         "n_requests": harness.scaled_requests(350_000)},
+        repetitions=harness.bench_repetitions(),
+        base_seed=11,
+        checkpoints=5,
+    )
+    return {r.label: r for r in results}
+
+
+def test_ablation_cache_size(benchmark):
+    results = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    oblivious_label = next(label for label in results if label.startswith("oblivious"))
+    table = format_comparison_table(results, oblivious_label=oblivious_label)
+    harness.write_output("ablation_cache_size", "Ablation A1 — cache size sweep\n" + table)

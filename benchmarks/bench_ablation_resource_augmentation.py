@@ -1,0 +1,55 @@
+"""Ablation A6 — resource augmentation ((b, a)-matching).
+
+The paper's bound improves from O(log b) to O(log(b/(b−a+1))) when the online
+algorithm may use degree b while the offline optimum is restricted to a ≤ b.
+On small star-adversary instances where the exact offline optimum is
+computable, this ablation measures R-BMA's empirical ratio against optima with
+different degree budgets a, next to the corresponding theoretical bounds.
+"""
+
+import _harness as harness
+
+from repro.analysis import empirical_competitive_ratio, round_robin_adversary_trace
+from repro.config import MatchingConfig
+from repro.core import RBMA
+from repro.paging.bounds import randomized_paging_lower_bound, resource_augmented_ratio
+from repro.topology import StarTopology
+
+B = 4
+A_VALUES = (4, 3, 2, 1)
+ALPHA = 3.0
+N_BLOCKS = 40
+
+
+def _measure():
+    topo = StarTopology(n_racks=B + 1, hub_is_rack=True)
+    trace = round_robin_adversary_trace(b=B, n_blocks=N_BLOCKS, alpha=ALPHA)
+    requests = list(trace.requests())
+    rows = []
+    for a in A_VALUES:
+        config = MatchingConfig(b=B, alpha=ALPHA, a=a)
+        report = empirical_competitive_ratio(
+            lambda: RBMA(topo, config, rng=a), requests, topo, config,
+            trials=5, offline_b=a,
+        )
+        rows.append((a, report))
+    return rows
+
+
+def test_ablation_resource_augmentation(benchmark):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    lines = [f"Ablation A6 — resource augmentation (online b = {B}, offline degree a)",
+             f"{'a':>3} {'offline opt':>12} {'measured ratio':>15} "
+             f"{'paging LB':>10} {'paging UB':>10}"]
+    for a, report in rows:
+        lines.append(
+            f"{a:>3} {report.offline_cost:>12.1f} {report.ratio:>15.2f} "
+            f"{randomized_paging_lower_bound(B, a):>10.2f} "
+            f"{resource_augmented_ratio(B, a):>10.2f}"
+        )
+        assert report.ratio <= report.theoretical_bound
+    lines.append("(the theoretical bounds shrink as the offline degree budget a decreases;")
+    lines.append(" on this small adversary the measured ratio stays roughly flat because")
+    lines.append(" the optimum already prefers routing every block over reconfiguring,")
+    lines.append(" so restricting its degree does not change its cost)")
+    harness.write_output("ablation_resource_augmentation", "\n".join(lines))

@@ -1,0 +1,40 @@
+"""Figure 1 — Facebook database cluster.
+
+Regenerates the three panels of the paper's Figure 1 on the synthetic
+Facebook-database-like workload (100 racks, fat-tree, b ∈ {6, 12, 18}):
+
+* 1a — routing cost vs. number of requests for R-BMA, BMA and Oblivious;
+* 1b — execution time vs. number of requests for R-BMA and BMA;
+* 1c — best-of comparison (b = 18): R-BMA vs BMA vs SO-BMA.
+"""
+
+import _harness as harness
+
+
+def test_fig1a_routing_cost(benchmark):
+    results = benchmark.pedantic(harness.run_figure_panel, args=("fig1",), rounds=1, iterations=1)
+    harness.write_output(
+        "fig1a_routing_cost",
+        harness.routing_cost_table(results, "Figure 1a — Facebook database: routing cost"),
+    )
+    harness.write_output("fig1_summary", harness.summary_table(results, "Figure 1 — summary"))
+
+
+def test_fig1b_execution_time(benchmark):
+    results = harness.run_figure_panel("fig1")
+    table = benchmark.pedantic(
+        harness.execution_time_table,
+        args=(results, "Figure 1b — Facebook database: execution time [s]"),
+        rounds=1, iterations=1,
+    )
+    harness.write_output("fig1b_execution_time", table)
+
+
+def test_fig1c_best_of(benchmark):
+    results = harness.run_figure_panel("fig1")
+    table = benchmark.pedantic(
+        harness.best_of_table,
+        args=(results, "Figure 1c — Facebook database: best-of comparison (b = 18)"),
+        rounds=1, iterations=1,
+    )
+    harness.write_output("fig1c_best_of", table)

@@ -1,0 +1,36 @@
+"""Figure 2 — Facebook web-service cluster.
+
+Regenerates the three panels of the paper's Figure 2 on the synthetic
+Facebook-web-service-like workload (100 racks, fat-tree, b ∈ {6, 12, 18}).
+"""
+
+import _harness as harness
+
+
+def test_fig2a_routing_cost(benchmark):
+    results = benchmark.pedantic(harness.run_figure_panel, args=("fig2",), rounds=1, iterations=1)
+    harness.write_output(
+        "fig2a_routing_cost",
+        harness.routing_cost_table(results, "Figure 2a — Facebook web service: routing cost"),
+    )
+    harness.write_output("fig2_summary", harness.summary_table(results, "Figure 2 — summary"))
+
+
+def test_fig2b_execution_time(benchmark):
+    results = harness.run_figure_panel("fig2")
+    table = benchmark.pedantic(
+        harness.execution_time_table,
+        args=(results, "Figure 2b — Facebook web service: execution time [s]"),
+        rounds=1, iterations=1,
+    )
+    harness.write_output("fig2b_execution_time", table)
+
+
+def test_fig2c_best_of(benchmark):
+    results = harness.run_figure_panel("fig2")
+    table = benchmark.pedantic(
+        harness.best_of_table,
+        args=(results, "Figure 2c — Facebook web service: best-of comparison (b = 18)"),
+        rounds=1, iterations=1,
+    )
+    harness.write_output("fig2c_best_of", table)

@@ -1,0 +1,36 @@
+"""Figure 3 — Facebook Hadoop cluster.
+
+Regenerates the three panels of the paper's Figure 3 on the synthetic
+Facebook-Hadoop-like workload (100 racks, fat-tree, b ∈ {6, 12, 18}).
+"""
+
+import _harness as harness
+
+
+def test_fig3a_routing_cost(benchmark):
+    results = benchmark.pedantic(harness.run_figure_panel, args=("fig3",), rounds=1, iterations=1)
+    harness.write_output(
+        "fig3a_routing_cost",
+        harness.routing_cost_table(results, "Figure 3a — Facebook Hadoop: routing cost"),
+    )
+    harness.write_output("fig3_summary", harness.summary_table(results, "Figure 3 — summary"))
+
+
+def test_fig3b_execution_time(benchmark):
+    results = harness.run_figure_panel("fig3")
+    table = benchmark.pedantic(
+        harness.execution_time_table,
+        args=(results, "Figure 3b — Facebook Hadoop: execution time [s]"),
+        rounds=1, iterations=1,
+    )
+    harness.write_output("fig3b_execution_time", table)
+
+
+def test_fig3c_best_of(benchmark):
+    results = harness.run_figure_panel("fig3")
+    table = benchmark.pedantic(
+        harness.best_of_table,
+        args=(results, "Figure 3c — Facebook Hadoop: best-of comparison (b = 18)"),
+        rounds=1, iterations=1,
+    )
+    harness.write_output("fig3c_best_of", table)

@@ -1,0 +1,39 @@
+"""Figure 4 — Microsoft (ProjecToR) cluster.
+
+Regenerates the three panels of the paper's Figure 4 on the synthetic
+Microsoft-like workload (50 racks, fat-tree, b ∈ {3, 6, 9}).  This trace is
+sampled i.i.d. from a skewed traffic matrix, so it has no temporal structure —
+the setting where the paper observes the static offline matching (SO-BMA)
+clearly outperforming the online algorithms.
+"""
+
+import _harness as harness
+
+
+def test_fig4a_routing_cost(benchmark):
+    results = benchmark.pedantic(harness.run_figure_panel, args=("fig4",), rounds=1, iterations=1)
+    harness.write_output(
+        "fig4a_routing_cost",
+        harness.routing_cost_table(results, "Figure 4a — Microsoft: routing cost"),
+    )
+    harness.write_output("fig4_summary", harness.summary_table(results, "Figure 4 — summary"))
+
+
+def test_fig4b_execution_time(benchmark):
+    results = harness.run_figure_panel("fig4")
+    table = benchmark.pedantic(
+        harness.execution_time_table,
+        args=(results, "Figure 4b — Microsoft: execution time [s]"),
+        rounds=1, iterations=1,
+    )
+    harness.write_output("fig4b_execution_time", table)
+
+
+def test_fig4c_best_of(benchmark):
+    results = harness.run_figure_panel("fig4")
+    table = benchmark.pedantic(
+        harness.best_of_table,
+        args=(results, "Figure 4c — Microsoft: best-of comparison (b = 9)"),
+        rounds=1, iterations=1,
+    )
+    harness.write_output("fig4c_best_of", table)

@@ -1,0 +1,55 @@
+"""Theory T1 — empirical competitive ratios against the exact offline optimum.
+
+Connects the empirical section to the theory: on small adversarial and random
+instances (where the exact dynamic-programming optimum is computable) we
+measure the competitive ratio of R-BMA and BMA and compare against the
+Corollary 3 upper bound and the Theorem 4 lower bound.  The paper's headline
+— the randomized algorithm's ratio scales like log b while the deterministic
+one scales like b — shows up as a growing gap between the two columns as b
+increases.
+"""
+
+import _harness as harness
+import numpy as np
+
+from repro.analysis import empirical_competitive_ratio, round_robin_adversary_trace
+from repro.config import MatchingConfig
+from repro.core import BMA, RBMA
+from repro.paging.bounds import rbma_lower_bound, rbma_upper_bound
+from repro.topology import StarTopology
+
+B_VALUES = (2, 3, 4)
+ALPHA = 3.0
+N_BLOCKS = 40
+
+
+def _measure():
+    rows = []
+    for b in B_VALUES:
+        topo = StarTopology(n_racks=b + 1, hub_is_rack=True)
+        config = MatchingConfig(b=b, alpha=ALPHA)
+        trace = round_robin_adversary_trace(b=b, n_blocks=N_BLOCKS, alpha=ALPHA)
+        requests = list(trace.requests())
+        rbma_report = empirical_competitive_ratio(
+            lambda: RBMA(topo, config, rng=int(b)), requests, topo, config, trials=5
+        )
+        bma_report = empirical_competitive_ratio(
+            lambda: BMA(topo, config), requests, topo, config, trials=1
+        )
+        rows.append((b, rbma_report, bma_report))
+    return rows
+
+
+def test_theory_competitive_ratio(benchmark):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    lines = ["Theory T1 — empirical competitive ratios on the star adversary",
+             f"{'b':>3} {'opt cost':>9} {'R-BMA ratio':>12} {'BMA ratio':>10} "
+             f"{'lower bound':>12} {'upper bound':>12}"]
+    for b, rbma_report, bma_report in rows:
+        lines.append(
+            f"{b:>3} {rbma_report.offline_cost:>9.1f} {rbma_report.ratio:>12.2f} "
+            f"{bma_report.ratio:>10.2f} {rbma_lower_bound(b):>12.2f} "
+            f"{rbma_upper_bound(b, b, 1.0, ALPHA):>12.2f}"
+        )
+        assert rbma_report.ratio <= rbma_report.theoretical_bound
+    harness.write_output("theory_competitive", "\n".join(lines))

@@ -1,0 +1,15 @@
+"""Pytest configuration for the benchmark suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# The harness module lives next to the benchmark files; make it importable
+# regardless of how pytest was invoked, and allow running from a source
+# checkout without installation.
+_HERE = Path(__file__).resolve().parent
+_SRC = _HERE.parent / "src"
+for path in (str(_HERE), str(_SRC)):
+    if path not in sys.path:
+        sys.path.insert(0, path)

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Empirical competitive-ratio study on small adversarial instances.
+
+The paper proves that randomization buys an exponential improvement in the
+competitive ratio: O(log b) for R-BMA versus Θ(b) for the best deterministic
+algorithm.  Competitive ratios are worst-case quantities, so they cannot be
+read off the datacenter-trace simulations; instead this example measures them
+directly on the lower-bound construction (paging embedded on a star, Lemma 1)
+where the exact offline optimum is computable by dynamic programming.
+
+Run with::
+
+    python examples/competitive_ratio_study.py
+"""
+
+from repro.analysis import empirical_competitive_ratio, round_robin_adversary_trace
+from repro.config import MatchingConfig
+from repro.core import BMA, RBMA, GreedyBMA
+from repro.paging.bounds import harmonic_number
+from repro.topology import StarTopology
+
+
+def study(b_values=(2, 3, 4), alpha: float = 3.0, n_blocks: int = 40, trials: int = 10) -> None:
+    """Measure ratios for each b and print them next to the theory."""
+    print(f"{'b':>3} {'opt':>7} {'R-BMA':>8} {'BMA':>8} {'Greedy':>8} {'2·H_b':>7}")
+    for b in b_values:
+        topology = StarTopology(n_racks=b + 1, hub_is_rack=True)
+        config = MatchingConfig(b=b, alpha=alpha)
+        trace = round_robin_adversary_trace(b=b, n_blocks=n_blocks, alpha=alpha)
+        requests = list(trace.requests())
+
+        rbma = empirical_competitive_ratio(
+            lambda: RBMA(topology, config, rng=b), requests, topology, config, trials=trials
+        )
+        bma = empirical_competitive_ratio(
+            lambda: BMA(topology, config), requests, topology, config, trials=1
+        )
+        greedy = empirical_competitive_ratio(
+            lambda: GreedyBMA(topology, config), requests, topology, config, trials=1
+        )
+        print(
+            f"{b:>3} {rbma.offline_cost:>7.1f} {rbma.ratio:>8.2f} {bma.ratio:>8.2f} "
+            f"{greedy.ratio:>8.2f} {2 * harmonic_number(b):>7.2f}"
+        )
+    print()
+    print("The round-robin adversary cycles through b+1 hub-leaf pairs; any online")
+    print("algorithm keeps missing one of them.  The randomized algorithm's measured")
+    print("ratio grows slowly with b (logarithmically in the limit), while the")
+    print("deterministic algorithms' ratios do not improve — the separation the")
+    print("paper proves in Theorems 3 and 4.")
+
+
+if __name__ == "__main__":
+    study()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Use a custom fixed network and the prediction-augmented extension.
+
+Two things the core paper leaves as extensions are shown here:
+
+1. R-BMA on a *non-fat-tree* fixed network — a random-regular (expander)
+   fabric and a ring — illustrating that the algorithm only needs shortest-
+   path lengths from the topology abstraction.
+2. The prediction-augmented algorithm from §5's future-work discussion
+   (:class:`repro.core.PredictiveBMA`), compared against R-BMA on a workload
+   with strong temporal structure, to see how much headroom predictions give.
+
+Run with::
+
+    python examples/custom_topology_and_prediction.py
+"""
+
+from repro import MatchingConfig, run_simulation
+from repro.core import PredictiveBMA, RBMA, ObliviousRouting
+from repro.topology import ExpanderTopology, RingTopology
+from repro.traffic import hadoop_trace
+
+
+def run_on(topology, trace, label: str) -> None:
+    """Run R-BMA, PredictiveBMA, and Oblivious on one topology and print a summary."""
+    config = MatchingConfig(b=8, alpha=40)
+    rows = []
+    for name, algorithm in (
+        ("rbma", RBMA(topology, config, rng=0)),
+        ("predictive", PredictiveBMA(topology, config, period=1_000, window=4_000)),
+        ("oblivious", ObliviousRouting(topology, config)),
+    ):
+        result = run_simulation(algorithm, trace)
+        rows.append((name, result))
+    oblivious_cost = rows[-1][1].total_routing_cost
+    print(f"\n--- {label} (mean rack distance {topology.mean_distance():.2f} hops) ---")
+    print(f"{'algorithm':<12} {'routing cost':>14} {'vs oblivious':>13} {'matched':>9}")
+    for name, result in rows:
+        reduction = 1.0 - result.total_routing_cost / oblivious_cost
+        print(f"{name:<12} {result.total_routing_cost:>14,.0f} {reduction:>12.1%} "
+              f"{result.matched_fraction:>8.1%}")
+
+
+def main() -> None:
+    n_racks = 64
+    trace = hadoop_trace(n_nodes=n_racks, n_requests=25_000, seed=3)
+    print(f"Workload: {trace.name}, {len(trace):,} requests over {n_racks} racks")
+
+    run_on(ExpanderTopology(n_racks=n_racks, degree=4, seed=7), trace,
+           "random-regular expander fabric (Jellyfish-like)")
+    run_on(RingTopology(n_racks=n_racks), trace, "ring fabric (large diameter)")
+
+    print()
+    print("On the short-diameter expander the oblivious baseline is already decent,")
+    print("so reconfiguration buys less; on the ring the fixed paths are long and a")
+    print("demand-aware matching pays off dramatically.  The prediction-augmented")
+    print("variant reconfigures only at fixed periods, so with these settings it")
+    print("lags R-BMA between reconfiguration points — predictions need to be both")
+    print("accurate and frequent to beat the purely online algorithm (cf. §5 of the")
+    print("paper); tune `period`/`window` to explore that trade-off.")
+
+
+if __name__ == "__main__":
+    main()

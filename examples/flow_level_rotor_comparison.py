@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Flow-level workloads and the demand-oblivious rotor baseline.
+
+Two extensions beyond the paper's evaluation in one example:
+
+1. **Flow-level traffic.**  Real datacenter demand arrives as flows with
+   heavy-tailed sizes; :mod:`repro.traffic.flows` samples mice-and-elephants
+   flows from a skewed traffic matrix and expands them into the request model
+   the algorithms consume.
+2. **Demand-oblivious baseline.**  RotorNet/Sirius-style designs rotate
+   through a fixed schedule of matchings without looking at demand.
+   Comparing R-BMA against :class:`repro.core.RotorBMA` isolates how much of
+   the benefit comes from demand-awareness rather than from having optical
+   links at all.
+
+Run with::
+
+    python examples/flow_level_rotor_comparison.py
+"""
+
+from repro import MatchingConfig, run_simulation
+from repro.core import RBMA, ObliviousRouting, RotorBMA
+from repro.topology import FatTreeTopology
+from repro.traffic import TrafficMatrix, flows_to_trace, generate_flows
+from repro.traffic.microsoft import projector_style_matrix
+from repro.traffic.stats import compute_trace_statistics
+
+
+def build_flow_trace(n_racks: int, skewed: bool, seed: int = 0):
+    """Generate a flow-level trace from either a skewed or a uniform matrix."""
+    if skewed:
+        matrix = projector_style_matrix(n_nodes=n_racks, seed=seed)
+        label = "skewed (ProjecToR-like) flow endpoints"
+    else:
+        matrix = TrafficMatrix.uniform(n_racks)
+        label = "uniform flow endpoints"
+    flows = generate_flows(matrix, n_flows=1_200, mean_flow_size=25,
+                           elephant_fraction=0.05, elephant_multiplier=25, seed=seed)
+    trace = flows_to_trace(flows, n_nodes=n_racks, name=f"flows-{'skewed' if skewed else 'uniform'}",
+                           seed=seed)
+    return trace, label
+
+
+def main() -> None:
+    n_racks = 64
+    topology = FatTreeTopology(n_racks=n_racks)
+    config = MatchingConfig(b=8, alpha=15)
+
+    for skewed in (True, False):
+        trace, label = build_flow_trace(n_racks, skewed)
+        stats = compute_trace_statistics(trace)
+        print(f"\n=== {label} ===")
+        print(f"{len(trace):,} requests from 1,200 flows; "
+              f"top-10% pair share {stats.top10pct_share:.0%}, "
+              f"re-reference rate {stats.rereference_rate:.0%}")
+        print(f"{'algorithm':<12} {'routing cost':>14} {'vs oblivious':>13} {'matched':>9}")
+        oblivious_cost = None
+        for name, algorithm in (
+            ("oblivious", ObliviousRouting(topology, config)),
+            ("rotor", RotorBMA(topology, config, period=200)),
+            ("rbma", RBMA(topology, config, rng=0)),
+        ):
+            result = run_simulation(algorithm, trace)
+            if name == "oblivious":
+                oblivious_cost = result.total_routing_cost
+            reduction = 1.0 - result.total_routing_cost / oblivious_cost
+            print(f"{name:<12} {result.total_routing_cost:>14,.0f} {reduction:>12.1%} "
+                  f"{result.matched_fraction:>8.1%}")
+
+    print()
+    print("The demand-aware R-BMA far outperforms the demand-oblivious rotor on both")
+    print("workloads: flow-level traffic is temporally concentrated (a flow keeps")
+    print("re-using its pair) even when the flow *endpoints* are uniform, and only a")
+    print("demand-aware algorithm can follow that.  The rotor only helps a pair while")
+    print("its slot happens to be installed.  For the per-request i.i.d. uniform case,")
+    print("where the rotor catches up, see the A5 ablation benchmark.")
+
+
+if __name__ == "__main__":
+    main()

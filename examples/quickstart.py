@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Quickstart: run R-BMA on a synthetic datacenter workload.
+
+This example builds a 100-rack fat-tree, generates a Facebook-database-like
+workload, runs the paper's randomized online b-matching algorithm (R-BMA)
+against the oblivious baseline, and prints the routing-cost series and the
+final reduction — a miniature version of the paper's Figure 1a.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import MatchingConfig, RBMA, ObliviousRouting, SimulationConfig, run_simulation
+from repro.analysis import format_series_table, routing_cost_reduction
+from repro.simulation import aggregate_runs
+from repro.topology import FatTreeTopology
+from repro.traffic import database_trace
+
+
+def main() -> None:
+    n_racks = 100
+    topology = FatTreeTopology(n_racks=n_racks)
+    print(f"Fixed network: {topology.name}, max rack distance = {topology.max_distance():.0f} hops")
+
+    trace = database_trace(n_nodes=n_racks, n_requests=30_000, seed=0)
+    print(f"Workload: {trace.name}, {len(trace):,} requests over {trace.n_nodes} racks")
+
+    config = MatchingConfig(b=12, alpha=40)
+    sim = SimulationConfig(checkpoints=10, seed=0)
+
+    rbma = RBMA(topology, config, rng=0)
+    rbma_result = run_simulation(rbma, trace, sim)
+
+    oblivious = ObliviousRouting(topology, config)
+    oblivious_result = run_simulation(oblivious, trace, sim)
+
+    results = {
+        "R-BMA (b: 12)": aggregate_runs([rbma_result]),
+        "Oblivious": aggregate_runs([oblivious_result]),
+    }
+    print()
+    print(format_series_table(results, metric="routing_cost",
+                              title="Cumulative routing cost vs. #requests"))
+    reduction = routing_cost_reduction(results["R-BMA (b: 12)"], results["Oblivious"])
+    print()
+    print(f"R-BMA routing-cost reduction vs. oblivious routing: {100 * reduction:.1f}%")
+    print(f"Requests served over reconfigurable links: {100 * rbma_result.matched_fraction:.1f}%")
+    print(f"Reconfigurations paid for: "
+          f"{rbma_result.total_reconfiguration_cost / config.alpha:.0f} edge changes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Analyse the structure of the synthetic datacenter workloads.
+
+The paper's discussion hinges on two trace properties: spatial skew (a few
+rack pairs carry most of the traffic) and temporal structure (bursty
+re-references).  This example generates each of the four paper workloads,
+computes the structure statistics from :mod:`repro.traffic.stats`, and shows
+how they predict which algorithm wins — SO-BMA thrives on spatial skew alone,
+the online algorithms additionally exploit temporal structure.
+
+Run with::
+
+    python examples/trace_analysis.py
+"""
+
+from repro.traffic import (
+    compute_trace_statistics,
+    database_trace,
+    hadoop_trace,
+    microsoft_trace,
+    save_trace_csv,
+    web_service_trace,
+)
+
+
+def main() -> None:
+    generators = {
+        "facebook-database": lambda: database_trace(n_nodes=100, n_requests=30_000, seed=1),
+        "facebook-web": lambda: web_service_trace(n_nodes=100, n_requests=30_000, seed=1),
+        "facebook-hadoop": lambda: hadoop_trace(n_nodes=100, n_requests=30_000, seed=1),
+        "microsoft": lambda: microsoft_trace(n_nodes=50, n_requests=30_000, seed=1),
+    }
+    header = (f"{'workload':<20} {'distinct pairs':>14} {'top-10% share':>13} "
+              f"{'norm. entropy':>13} {'re-ref rate':>11}")
+    print(header)
+    print("-" * len(header))
+    for name, generator in generators.items():
+        trace = generator()
+        stats = compute_trace_statistics(trace)
+        print(
+            f"{name:<20} {stats.n_distinct_pairs:>14,} {stats.top10pct_share:>12.1%} "
+            f"{stats.normalized_entropy:>13.2f} {stats.rereference_rate:>11.1%}"
+        )
+
+    print()
+    print("Interpretation:")
+    print(" * low normalised entropy / high top-10% share  -> strong spatial skew,")
+    print("   which a static offline matching (SO-BMA) can already exploit;")
+    print(" * high re-reference rate -> temporal structure, which only the online")
+    print("   algorithms (R-BMA, BMA) can follow as the hot pairs drift;")
+    print(" * the Microsoft workload is skewed but i.i.d., so its re-reference rate")
+    print("   is explained by skew alone — exactly why SO-BMA wins Figure 4c.")
+
+    # Persist one workload so the CSV round-trip is demonstrated.
+    trace = database_trace(n_nodes=100, n_requests=5_000, seed=1)
+    out = "facebook_database_sample.csv"
+    save_trace_csv(trace, out)
+    print()
+    print(f"Wrote a 5,000-request sample of the database workload to ./{out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""repro — reproduction of "Optimizing Reconfigurable Optical Datacenters:
+The Power of Randomization" (Bienkowski, Fuchssteiner, Schmid; SC 2023).
+
+The package implements the paper's randomized online b-matching algorithm
+(R-BMA) together with every substrate its evaluation depends on: datacenter
+topologies, paging algorithms, dynamic and static b-matching, synthetic
+datacenter workloads, a simulation engine, and analysis tools (offline
+optimum, competitive ratios, adversarial traces).
+
+Quickstart
+----------
+>>> from repro import MatchingConfig, RBMA, run_simulation
+>>> from repro.topology import FatTreeTopology
+>>> from repro.traffic import database_trace
+>>> topo = FatTreeTopology(n_racks=100)
+>>> trace = database_trace(n_nodes=100, n_requests=5_000, seed=0)
+>>> algo = RBMA(topo, MatchingConfig(b=12, alpha=10), rng=0)
+>>> result = run_simulation(algo, trace)
+>>> result.total_routing_cost < 5_000 * topo.mean_distance()
+True
+"""
+
+from ._version import __version__
+from .config import MatchingConfig, SimulationConfig, SweepConfig
+from .errors import (
+    ConfigurationError,
+    DegreeConstraintError,
+    MatchingError,
+    PagingError,
+    ReproError,
+    SimulationError,
+    SolverError,
+    TopologyError,
+    TrafficError,
+)
+from .types import NodePair, Request, canonical_pair
+from .core import (
+    BMA,
+    RBMA,
+    GreedyBMA,
+    ObliviousRouting,
+    OnlineBMatchingAlgorithm,
+    PredictiveBMA,
+    StaticOfflineBMA,
+    UniformBMatching,
+    available_algorithms,
+    make_algorithm,
+)
+from .matching import BMatching
+from .simulation import (
+    AggregateResult,
+    ExperimentRunner,
+    RunResult,
+    RunSpec,
+    run_simulation,
+    run_sweep,
+)
+
+__all__ = [
+    "__version__",
+    # configuration
+    "MatchingConfig",
+    "SimulationConfig",
+    "SweepConfig",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "TopologyError",
+    "TrafficError",
+    "MatchingError",
+    "DegreeConstraintError",
+    "PagingError",
+    "SimulationError",
+    "SolverError",
+    # primitives
+    "Request",
+    "NodePair",
+    "canonical_pair",
+    "BMatching",
+    # algorithms
+    "OnlineBMatchingAlgorithm",
+    "RBMA",
+    "BMA",
+    "ObliviousRouting",
+    "GreedyBMA",
+    "StaticOfflineBMA",
+    "UniformBMatching",
+    "PredictiveBMA",
+    "available_algorithms",
+    "make_algorithm",
+    # simulation
+    "run_simulation",
+    "run_sweep",
+    "RunSpec",
+    "RunResult",
+    "AggregateResult",
+    "ExperimentRunner",
+]

@@ -1,0 +1,98 @@
+"""Adversarial request sequences.
+
+Two constructions connected to the paper's lower bound (Theorem 4, via the
+star-graph embedding of paging in Lemma 1):
+
+* :func:`adversarial_paging_trace` — the randomized-lower-bound style
+  adversary: traffic on a star between the hub and ``b + 1`` leaves, each
+  request choosing a uniformly random leaf and repeating it ``α`` times (one
+  "block" per paging request).  No online algorithm, randomized or not, can
+  keep more than ``b`` of the ``b + 1`` hot pairs matched, so it faults with
+  probability at least ``1/(b+1)`` per block, while the optimum faults only
+  about once per ``b`` blocks.
+* :func:`round_robin_adversary_trace` — the deterministic-killer: requests
+  cycle through ``b + 1`` pairs in round-robin blocks; a deterministic
+  algorithm can be forced to pay for (almost) every block, which is what
+  separates the deterministic Θ(b) bound from the randomized Θ(log b) bound.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import TrafficError
+from ..traffic.base import Trace, TraceMetadata
+
+__all__ = ["adversarial_paging_trace", "round_robin_adversary_trace"]
+
+
+def _star_pairs_trace(
+    leaf_sequence: np.ndarray, n_leaves: int, block_length: int, name: str, seed: Optional[int],
+    params: dict,
+) -> Trace:
+    """Expand a sequence of leaf indices into hub-leaf request blocks."""
+    if block_length < 1:
+        raise TrafficError(f"block_length must be >= 1, got {block_length}")
+    leaves = np.repeat(leaf_sequence, block_length)
+    src = np.zeros(len(leaves), dtype=np.int32)  # hub is rack 0
+    dst = (leaves + 1).astype(np.int32)  # leaves are racks 1..n_leaves
+    meta = TraceMetadata(name=name, n_nodes=n_leaves + 1, seed=seed, params=params)
+    return Trace(src, dst, meta)
+
+
+def adversarial_paging_trace(
+    b: int,
+    n_blocks: int,
+    block_length: Optional[int] = None,
+    alpha: float = 1.0,
+    seed: Optional[int] = None,
+) -> Trace:
+    """Uniform-random adversary over ``b + 1`` hub-leaf pairs on a star.
+
+    Use with :class:`~repro.topology.star.StarTopology` (``hub_is_rack=True``,
+    ``n_racks = b + 1`` leaves) so that the hub is rack 0.  ``block_length``
+    defaults to ``⌈α⌉`` — each block corresponds to one paging request in the
+    Lemma 1 reduction.
+    """
+    if b < 1:
+        raise TrafficError(f"b must be >= 1, got {b}")
+    if n_blocks < 1:
+        raise TrafficError(f"n_blocks must be >= 1, got {n_blocks}")
+    rng = np.random.default_rng(seed)
+    n_leaves = b + 1
+    block = block_length if block_length is not None else max(1, int(np.ceil(alpha)))
+    leaf_sequence = rng.integers(0, n_leaves, size=n_blocks)
+    return _star_pairs_trace(
+        leaf_sequence,
+        n_leaves,
+        block,
+        name="adversary-random",
+        seed=seed,
+        params={"b": b, "n_blocks": n_blocks, "block_length": block, "alpha": alpha},
+    )
+
+
+def round_robin_adversary_trace(
+    b: int,
+    n_blocks: int,
+    block_length: Optional[int] = None,
+    alpha: float = 1.0,
+) -> Trace:
+    """Round-robin adversary over ``b + 1`` hub-leaf pairs on a star."""
+    if b < 1:
+        raise TrafficError(f"b must be >= 1, got {b}")
+    if n_blocks < 1:
+        raise TrafficError(f"n_blocks must be >= 1, got {n_blocks}")
+    n_leaves = b + 1
+    block = block_length if block_length is not None else max(1, int(np.ceil(alpha)))
+    leaf_sequence = np.arange(n_blocks) % n_leaves
+    return _star_pairs_trace(
+        leaf_sequence,
+        n_leaves,
+        block,
+        name="adversary-round-robin",
+        seed=None,
+        params={"b": b, "n_blocks": n_blocks, "block_length": block, "alpha": alpha},
+    )

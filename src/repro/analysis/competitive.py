@@ -1,0 +1,107 @@
+"""Empirical competitive-ratio harness.
+
+Runs an online algorithm on a (small) instance, computes the exact offline
+optimum with the dynamic program, and reports the ratio together with the
+theoretical upper bound of Corollary 3 — the bridge between the paper's
+theory section and its empirical section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..config import MatchingConfig
+from ..core.base import OnlineBMatchingAlgorithm
+from ..paging.bounds import rbma_upper_bound
+from ..topology import Topology
+from ..types import Request
+from .offline_opt import optimal_dynamic_matching_cost
+
+__all__ = ["CompetitiveReport", "empirical_competitive_ratio"]
+
+AlgorithmFactory = Callable[[], OnlineBMatchingAlgorithm]
+
+
+@dataclass(frozen=True)
+class CompetitiveReport:
+    """Result of one empirical competitive-ratio measurement.
+
+    Attributes
+    ----------
+    online_cost:
+        Cost (mean over trials for randomized algorithms) of the online
+        algorithm.
+    offline_cost:
+        Exact optimal offline cost.
+    ratio:
+        ``online_cost / offline_cost`` (``inf`` if the offline cost is 0 and
+        the online cost is positive, 1 if both are 0).
+    theoretical_bound:
+        The Corollary 3 upper bound for the instance parameters, for context.
+    trials:
+        Number of independent online trials averaged.
+    """
+
+    online_cost: float
+    offline_cost: float
+    ratio: float
+    theoretical_bound: float
+    trials: int
+
+
+def empirical_competitive_ratio(
+    algorithm_factory: AlgorithmFactory,
+    requests: Sequence[Request],
+    topology: Topology,
+    config: MatchingConfig,
+    trials: int = 5,
+    offline_b: Optional[int] = None,
+) -> CompetitiveReport:
+    """Measure the empirical competitive ratio of an online algorithm.
+
+    Parameters
+    ----------
+    algorithm_factory:
+        Zero-argument callable returning a *fresh* algorithm instance per
+        trial (so randomized algorithms get independent randomness).
+    requests:
+        The request sequence (must be small enough for the exact offline DP).
+    topology, config:
+        Instance parameters.
+    trials:
+        Number of online trials to average (use 1 for deterministic
+        algorithms).
+    offline_b:
+        Degree bound of the offline optimum; defaults to ``config.effective_a``
+        (i.e. the resource-augmented comparison of the paper).
+    """
+    costs = []
+    for _ in range(max(1, trials)):
+        algorithm = algorithm_factory()
+        algorithm.serve_all(list(requests))
+        costs.append(algorithm.total_cost)
+    online_cost = float(np.mean(costs))
+
+    offline_cost = optimal_dynamic_matching_cost(
+        requests,
+        topology,
+        b=offline_b if offline_b is not None else config.effective_a,
+        alpha=config.alpha,
+    )
+    if offline_cost > 0:
+        ratio = online_cost / offline_cost
+    else:
+        ratio = 1.0 if online_cost == 0 else float("inf")
+    bound = rbma_upper_bound(
+        config.b, config.effective_a, topology.max_distance(), config.alpha
+    )
+    return CompetitiveReport(
+        online_cost=online_cost,
+        offline_cost=offline_cost,
+        ratio=ratio,
+        theoretical_bound=bound,
+        trials=max(1, trials),
+    )

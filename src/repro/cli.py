@@ -1,0 +1,171 @@
+"""Command-line interface.
+
+Lets users drive the common workflows without writing Python::
+
+    python -m repro simulate --workload facebook-database --algorithm rbma --b 12
+    python -m repro compare  --workload microsoft --b 6 --algorithms rbma bma so-bma
+    python -m repro generate-trace --workload facebook-hadoop --requests 50000 --out trace.csv
+    python -m repro analyze-trace trace.csv
+    python -m repro list
+
+All subcommands print plain-text tables (the same renderers the benchmark
+harness uses) and exit non-zero on configuration errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis import format_comparison_table, format_series_table
+from .analysis.plotting import plot_results
+from .core import available_algorithms
+from .errors import ReproError
+from .simulation import ExperimentRunner, RunSpec
+from .topology import available_topologies
+from .traffic import (
+    available_workloads,
+    compute_trace_statistics,
+    load_trace_csv,
+    make_workload,
+    save_trace_csv,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Online b-matching for reconfigurable optical datacenters "
+        "(reproduction of Bienkowski et al., SC 2023)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workload", default="facebook-database",
+                       help="workload name (see `repro list`)")
+        p.add_argument("--nodes", type=int, default=100, help="number of racks")
+        p.add_argument("--requests", type=int, default=20_000, help="number of requests")
+        p.add_argument("--topology", default="fat-tree", help="fixed-network topology")
+        p.add_argument("--b", type=int, default=12, help="matching degree bound b")
+        p.add_argument("--alpha", type=float, default=15.0, help="reconfiguration cost alpha")
+        p.add_argument("--seed", type=int, default=0, help="base random seed")
+        p.add_argument("--repetitions", type=int, default=1, help="repetitions to average")
+        p.add_argument("--checkpoints", type=int, default=10, help="checkpoints to record")
+
+    p_sim = sub.add_parser("simulate", help="run one algorithm on one workload")
+    add_common(p_sim)
+    p_sim.add_argument("--algorithm", default="rbma", help="algorithm name (see `repro list`)")
+
+    p_cmp = sub.add_parser("compare", help="run several algorithms on the same workload")
+    add_common(p_cmp)
+    p_cmp.add_argument("--algorithms", nargs="+",
+                       default=["rbma", "bma", "so-bma", "oblivious"],
+                       help="algorithm names to compare")
+    p_cmp.add_argument("--plot", action="store_true", help="render an ASCII chart of the series")
+
+    p_gen = sub.add_parser("generate-trace", help="generate a workload and save it as CSV")
+    p_gen.add_argument("--workload", default="facebook-database")
+    p_gen.add_argument("--nodes", type=int, default=100)
+    p_gen.add_argument("--requests", type=int, default=20_000)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--out", required=True, help="output CSV path")
+
+    p_ana = sub.add_parser("analyze-trace", help="print structure statistics of a CSV trace")
+    p_ana.add_argument("path", help="trace CSV written by generate-trace")
+
+    sub.add_parser("list", help="list available algorithms, workloads, and topologies")
+    return parser
+
+
+def _run_specs(args: argparse.Namespace, algorithms: Sequence[str]):
+    specs = [
+        RunSpec(
+            algorithm=algorithm,
+            workload=args.workload,
+            b=args.b,
+            alpha=args.alpha,
+            topology=args.topology,
+            workload_kwargs={"n_nodes": args.nodes, "n_requests": args.requests},
+            checkpoints=args.checkpoints,
+        )
+        for algorithm in algorithms
+    ]
+    runner = ExperimentRunner(repetitions=args.repetitions, base_seed=args.seed)
+    return runner.compare_on_shared_trace(specs)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    results = _run_specs(args, [args.algorithm])
+    print(format_series_table(results, metric="routing_cost",
+                              title=f"{args.algorithm} on {args.workload}"))
+    result = next(iter(results.values()))
+    print()
+    print(f"final routing cost:        {result.routing_cost_mean:,.0f}")
+    print(f"final execution time [s]:  {result.elapsed_seconds_mean:.3f}")
+    print(f"matched request share:     {result.matched_fraction_mean:.1%}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    results = _run_specs(args, args.algorithms)
+    oblivious_label = next((label for label in results if label.startswith("oblivious")), None)
+    print(format_comparison_table(results, oblivious_label=oblivious_label))
+    if args.plot:
+        print()
+        print(plot_results(results, metric="routing_cost",
+                           title=f"routing cost on {args.workload}"))
+    return 0
+
+
+def _cmd_generate_trace(args: argparse.Namespace) -> int:
+    trace = make_workload(args.workload, n_nodes=args.nodes, n_requests=args.requests,
+                          seed=args.seed)
+    save_trace_csv(trace, args.out)
+    print(f"wrote {len(trace):,} requests over {trace.n_nodes} racks to {args.out}")
+    return 0
+
+
+def _cmd_analyze_trace(args: argparse.Namespace) -> int:
+    trace = load_trace_csv(args.path)
+    stats = compute_trace_statistics(trace)
+    print(f"trace {trace.name!r}: {stats.n_requests:,} requests, {stats.n_nodes} racks")
+    for key, value in stats.to_dict().items():
+        if key in ("n_requests", "n_nodes"):
+            continue
+        print(f"  {key:<26} {value:.4g}")
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("algorithms: " + ", ".join(available_algorithms()))
+    print("workloads:  " + ", ".join(available_workloads()))
+    print("topologies: " + ", ".join(available_topologies()))
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "compare": _cmd_compare,
+    "generate-trace": _cmd_generate_trace,
+    "analyze-trace": _cmd_analyze_trace,
+    "list": _cmd_list,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,142 @@
+"""Experiment configuration objects.
+
+Configurations are immutable dataclasses with validation in
+``__post_init__`` so that a mis-parameterised experiment fails at
+construction time rather than deep inside a simulation run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+from typing import Any, Mapping, Optional, Sequence
+
+from .errors import ConfigurationError
+
+__all__ = [
+    "MatchingConfig",
+    "SimulationConfig",
+    "SweepConfig",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class MatchingConfig:
+    """Parameters of the online (b, a)-matching problem instance.
+
+    Attributes
+    ----------
+    b:
+        Maximum number of reconfigurable (matching) edges incident to any
+        node for the online algorithm — the number of optical circuit
+        switches in the datacenter.
+    a:
+        Degree bound of the offline optimum in the resource-augmented
+        ``(b, a)`` setting.  Defaults to ``b`` (the classic setting).
+    alpha:
+        Reconfiguration cost per matching edge added or removed.
+    """
+
+    b: int
+    alpha: float = 1.0
+    a: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.b < 1:
+            raise ConfigurationError(f"b must be >= 1, got {self.b}")
+        if self.alpha < 1:
+            raise ConfigurationError(f"alpha must be >= 1, got {self.alpha}")
+        a = self.b if self.a is None else self.a
+        if not (1 <= a <= self.b):
+            raise ConfigurationError(f"a must satisfy 1 <= a <= b={self.b}, got {a}")
+
+    @property
+    def effective_a(self) -> int:
+        """The offline degree bound, defaulting to ``b``."""
+        return self.b if self.a is None else self.a
+
+    def augmentation_ratio(self) -> float:
+        """``b / (b - a + 1)`` — the argument of the logarithm in the bound."""
+        return self.b / (self.b - self.effective_a + 1)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form suitable for JSON serialisation."""
+        d = asdict(self)
+        d["a"] = self.effective_a
+        return d
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationConfig:
+    """Parameters controlling a single simulation run.
+
+    Attributes
+    ----------
+    checkpoints:
+        Number of evenly spaced points at which the cumulative routing cost
+        and wall-clock time are recorded (the x-axis of the paper's plots).
+    seed:
+        Seed for the algorithm's internal randomness.  Trace generation has
+        its own seed so that algorithm randomness and workload randomness
+        can be varied independently.
+    repetitions:
+        Number of independent repetitions averaged by the runner (the paper
+        averages five runs).
+    collect_matching_history:
+        If true, the engine records the matching after every reconfiguration
+        (memory-heavy; used only by tests and small analyses).
+    """
+
+    checkpoints: int = 20
+    seed: Optional[int] = None
+    repetitions: int = 1
+    collect_matching_history: bool = False
+
+    def __post_init__(self) -> None:
+        if self.checkpoints < 1:
+            raise ConfigurationError(f"checkpoints must be >= 1, got {self.checkpoints}")
+        if self.repetitions < 1:
+            raise ConfigurationError(f"repetitions must be >= 1, got {self.repetitions}")
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """A cross-product parameter sweep over algorithm and problem settings.
+
+    Attributes
+    ----------
+    b_values:
+        Degree bounds to sweep over (e.g. ``(6, 12, 18)`` for the Facebook
+        figures, ``(3, 6, 9)`` for the Microsoft figure).
+    alpha_values:
+        Reconfiguration costs to sweep over.
+    algorithms:
+        Names of algorithms (as registered in :mod:`repro.core.registry`).
+    extra:
+        Free-form per-sweep metadata propagated into results.
+    """
+
+    b_values: Sequence[int] = (6, 12, 18)
+    alpha_values: Sequence[float] = (1.0,)
+    algorithms: Sequence[str] = ("rbma", "bma", "oblivious")
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.b_values:
+            raise ConfigurationError("b_values must be non-empty")
+        if not self.alpha_values:
+            raise ConfigurationError("alpha_values must be non-empty")
+        if not self.algorithms:
+            raise ConfigurationError("algorithms must be non-empty")
+        if any(b < 1 for b in self.b_values):
+            raise ConfigurationError(f"all b values must be >= 1, got {self.b_values}")
+        if any(a < 1 for a in self.alpha_values):
+            raise ConfigurationError(f"all alpha values must be >= 1, got {self.alpha_values}")
+
+    def combinations(self) -> list[tuple[str, int, float]]:
+        """All (algorithm, b, alpha) combinations in deterministic order."""
+        return [
+            (alg, b, alpha)
+            for alg in self.algorithms
+            for b in self.b_values
+            for alpha in self.alpha_values
+        ]

@@ -1,0 +1,45 @@
+"""Online b-matching algorithms — the paper's primary contribution.
+
+* :class:`~repro.core.rbma.RBMA` — the paper's randomized online algorithm:
+  the Theorem 1 reduction to the uniform case composed with the Theorem 2
+  reduction to per-node paging, driven by the randomized marking algorithm.
+* :class:`~repro.core.bma.BMA` — the deterministic counter-based online
+  b-matching baseline the paper compares against [Bienkowski et al. 2020].
+* :class:`~repro.core.static_offline.StaticOfflineBMA` — SO-BMA, a static
+  maximum-weight b-matching over the whole trace.
+* :class:`~repro.core.oblivious.ObliviousRouting` — no reconfigurable links.
+* :class:`~repro.core.greedy.GreedyBMA` — a simple recency-based heuristic.
+* :class:`~repro.core.predictive.PredictiveBMA` — prediction-augmented
+  extension discussed as future work in the paper's §5.
+"""
+
+from .base import OnlineBMatchingAlgorithm, ServeOutcome
+from .uniform import UniformBMatching
+from .rbma import RBMA
+from .bma import BMA
+from .oblivious import ObliviousRouting
+from .greedy import GreedyBMA
+from .static_offline import StaticOfflineBMA
+from .predictive import PredictiveBMA, SlidingWindowPredictor
+from .hybrid import HybridBMA
+from .rotor import RotorBMA, round_robin_schedule
+from .registry import available_algorithms, make_algorithm, register_algorithm
+
+__all__ = [
+    "OnlineBMatchingAlgorithm",
+    "ServeOutcome",
+    "UniformBMatching",
+    "RBMA",
+    "BMA",
+    "ObliviousRouting",
+    "GreedyBMA",
+    "StaticOfflineBMA",
+    "PredictiveBMA",
+    "SlidingWindowPredictor",
+    "HybridBMA",
+    "RotorBMA",
+    "round_robin_schedule",
+    "available_algorithms",
+    "make_algorithm",
+    "register_algorithm",
+]

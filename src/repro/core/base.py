@@ -1,0 +1,210 @@
+"""Common interface of online b-matching algorithms.
+
+Every algorithm sees requests one at a time (:meth:`OnlineBMatchingAlgorithm.serve`)
+and maintains a dynamic b-matching over the racks of a fixed topology.  The
+cost model is the paper's:
+
+* serving a request ``{s, t}`` costs 1 if the pair is a matching edge and
+  ``ℓ_{s,t}`` (the fixed-network shortest path length) otherwise;
+* every matching edge added or removed costs ``α``.
+
+Cost accounting is centralised here: subclasses only implement the
+reconfiguration policy (:meth:`OnlineBMatchingAlgorithm._reconfigure`), and
+the base class derives reconfiguration cost from the matching's
+addition/removal counters so that no policy can misreport its own cost.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import MatchingConfig
+from ..errors import SimulationError
+from ..matching import BMatching
+from ..topology import Topology
+from ..types import NodePair, Request
+
+__all__ = ["ServeOutcome", "OnlineBMatchingAlgorithm"]
+
+
+@dataclass(frozen=True, slots=True)
+class ServeOutcome:
+    """What happened while serving a single request.
+
+    Attributes
+    ----------
+    pair:
+        The canonical node pair of the request.
+    routing_cost:
+        Cost paid to route this request (1 or ``ℓ_e``), scaled by the
+        request size.
+    reconfiguration_cost:
+        ``α`` times the number of matching edges added or removed while
+        serving this request.
+    served_by_matching:
+        Whether the request was routed over a matching edge.
+    edges_added, edges_removed:
+        The matching edges added / removed during this step.
+    """
+
+    pair: NodePair
+    routing_cost: float
+    reconfiguration_cost: float
+    served_by_matching: bool
+    edges_added: Tuple[NodePair, ...] = ()
+    edges_removed: Tuple[NodePair, ...] = ()
+
+    @property
+    def total_cost(self) -> float:
+        """Routing plus reconfiguration cost of this step."""
+        return self.routing_cost + self.reconfiguration_cost
+
+
+class OnlineBMatchingAlgorithm(ABC):
+    """Base class for online (b, a)-matching algorithms.
+
+    Parameters
+    ----------
+    topology:
+        The fixed network providing distances ``ℓ_e``.
+    config:
+        The matching problem parameters (``b``, ``α``, optionally ``a``).
+    rng:
+        Seed or generator for the algorithm's internal randomness.
+        Deterministic algorithms ignore it.
+    """
+
+    #: Short machine-readable algorithm name; overridden by subclasses.
+    name: str = "abstract"
+
+    #: Whether the algorithm must see the whole trace before serving
+    #: (true only for offline baselines such as SO-BMA).
+    requires_full_trace: bool = False
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: MatchingConfig,
+        rng: Optional[np.random.Generator | int] = None,
+    ):
+        self.topology = topology
+        self.config = config
+        self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self.matching = BMatching(topology.n_racks, config.b)
+        self.total_routing_cost = 0.0
+        self.total_reconfiguration_cost = 0.0
+        self.requests_served = 0
+        self.matched_requests = 0
+
+    # ------------------------------------------------------------------ #
+    # Cost accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def total_cost(self) -> float:
+        """Total routing plus reconfiguration cost so far."""
+        return self.total_routing_cost + self.total_reconfiguration_cost
+
+    @property
+    def matched_fraction(self) -> float:
+        """Fraction of requests served over a matching edge so far."""
+        if self.requests_served == 0:
+            return 0.0
+        return self.matched_requests / self.requests_served
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def fit(self, requests: Sequence[Request]) -> None:
+        """Give offline algorithms the full trace before the run.
+
+        Online algorithms ignore this; offline baselines override it.  The
+        engine calls it only when :attr:`requires_full_trace` is true.
+        """
+
+    def reset(self) -> None:
+        """Discard all state so the same instance can serve a fresh trace."""
+        self.matching = BMatching(self.topology.n_racks, self.config.b)
+        self.total_routing_cost = 0.0
+        self.total_reconfiguration_cost = 0.0
+        self.requests_served = 0
+        self.matched_requests = 0
+        self._reset_policy_state()
+
+    def _reset_policy_state(self) -> None:
+        """Hook for subclasses to clear their own bookkeeping on reset."""
+
+    # ------------------------------------------------------------------ #
+    # Serving
+    # ------------------------------------------------------------------ #
+    def serve(self, request: Request) -> ServeOutcome:
+        """Serve one request: pay its routing cost, then (maybe) reconfigure."""
+        pair = self.topology.validate_pair(request.src, request.dst)
+        length = self.topology.pair_length(pair)
+
+        served_by_matching = pair in self.matching
+        routing_cost = (1.0 if served_by_matching else length) * request.size
+
+        additions_before = self.matching.additions
+        removals_before = self.matching.removals
+        added, removed = self._reconfigure(pair, length, served_by_matching, request)
+
+        n_changes = (
+            (self.matching.additions - additions_before)
+            + (self.matching.removals - removals_before)
+        )
+        reconfiguration_cost = n_changes * self.config.alpha
+        if n_changes and self.matching.degree(pair[0]) > self.config.b:
+            raise SimulationError(
+                f"{self.name}: degree bound violated at node {pair[0]}"
+            )
+
+        self.total_routing_cost += routing_cost
+        self.total_reconfiguration_cost += reconfiguration_cost
+        self.requests_served += 1
+        if served_by_matching:
+            self.matched_requests += 1
+        return ServeOutcome(
+            pair=pair,
+            routing_cost=routing_cost,
+            reconfiguration_cost=reconfiguration_cost,
+            served_by_matching=served_by_matching,
+            edges_added=added,
+            edges_removed=removed,
+        )
+
+    def serve_all(self, requests: Sequence[Request]) -> float:
+        """Serve a whole trace and return the total cost incurred for it."""
+        start = self.total_cost
+        if self.requires_full_trace:
+            self.fit(requests)
+        for request in requests:
+            self.serve(request)
+        return self.total_cost - start
+
+    # ------------------------------------------------------------------ #
+    # Policy
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def _reconfigure(
+        self,
+        pair: NodePair,
+        length: float,
+        served_by_matching: bool,
+        request: Request,
+    ) -> tuple[Tuple[NodePair, ...], Tuple[NodePair, ...]]:
+        """Adjust the matching after serving ``pair``.
+
+        Returns the tuple ``(edges_added, edges_removed)``.  Implementations
+        mutate :attr:`matching` directly; reconfiguration cost is derived by
+        the caller from the matching's counters.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} b={self.config.b} alpha={self.config.alpha} "
+            f"served={self.requests_served}>"
+        )

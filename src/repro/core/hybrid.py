@@ -1,0 +1,127 @@
+"""Robust prediction-augmented algorithm (consistency/robustness combiner).
+
+The paper's §5 asks for algorithms that "leverage certain predictions about
+future demands, without losing the worst-case guarantees".  The standard way
+to get both is to *combine* two online algorithms — here the prediction-based
+:class:`~repro.core.predictive.PredictiveBMA` and the worst-case-safe
+:class:`~repro.core.rbma.RBMA` — and follow whichever has accumulated lower
+cost, switching with hysteresis so the switching overhead stays bounded
+(the classic "follow the better expert with doubling" argument gives a
+constant-factor overhead over the better of the two).
+
+Mechanically, the combiner runs both algorithms in simulation on the same
+request stream (each maintains its own virtual matching) and keeps the *real*
+installed matching synchronised with the currently followed algorithm's
+virtual matching.  Routing cost is paid according to the real matching;
+reconfiguration cost is paid for every real edge change, including the bulk
+change at a switch.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..config import MatchingConfig
+from ..errors import ConfigurationError
+from ..topology import Topology
+from ..types import NodePair, Request
+from .base import OnlineBMatchingAlgorithm
+from .predictive import PredictiveBMA
+from .rbma import RBMA
+
+__all__ = ["HybridBMA"]
+
+
+class HybridBMA(OnlineBMatchingAlgorithm):
+    """Follow-the-cheaper combination of PredictiveBMA and R-BMA.
+
+    Parameters
+    ----------
+    switch_factor:
+        Hysteresis factor: the combiner switches to the other algorithm only
+        when the followed algorithm's virtual cost exceeds the other's by
+        this factor (default 2.0, the doubling rule).
+    period, window:
+        Forwarded to the internal :class:`PredictiveBMA`.
+    """
+
+    name = "hybrid"
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: MatchingConfig,
+        rng: Optional[np.random.Generator | int] = None,
+        switch_factor: float = 2.0,
+        period: int = 1000,
+        window: int = 2000,
+    ):
+        super().__init__(topology, config, rng)
+        if switch_factor < 1.0:
+            raise ConfigurationError(f"switch_factor must be >= 1, got {switch_factor}")
+        self.switch_factor = float(switch_factor)
+        self._period = period
+        self._window = window
+        self._make_experts()
+
+    def _make_experts(self) -> None:
+        child_seed = int(self.rng.integers(2**63 - 1))
+        self._robust = RBMA(self.topology, self.config, rng=child_seed)
+        self._predictive = PredictiveBMA(
+            self.topology, self.config, period=self._period, window=self._window
+        )
+        self._following: OnlineBMatchingAlgorithm = self._robust
+        self._switches = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def following(self) -> str:
+        """Name of the currently followed expert algorithm."""
+        return self._following.name
+
+    @property
+    def switches(self) -> int:
+        """Number of times the combiner changed which expert it follows."""
+        return self._switches
+
+    @property
+    def expert_costs(self) -> Tuple[float, float]:
+        """Virtual total costs of (robust, predictive) experts."""
+        return self._robust.total_cost, self._predictive.total_cost
+
+    # ------------------------------------------------------------------ #
+    # Policy
+    # ------------------------------------------------------------------ #
+    def _reconfigure(
+        self,
+        pair: NodePair,
+        length: float,
+        served_by_matching: bool,
+        request: Request,
+    ) -> tuple[Tuple[NodePair, ...], Tuple[NodePair, ...]]:
+        # Advance both experts on their own virtual matchings.
+        self._robust.serve(request)
+        self._predictive.serve(request)
+
+        other = self._predictive if self._following is self._robust else self._robust
+        if self._following.total_cost > self.switch_factor * max(other.total_cost, 1.0):
+            self._following = other
+            self._switches += 1
+
+        # Synchronise the real matching with the followed expert's matching.
+        target = set(self._following.matching.edges)
+        current = set(self.matching.edges)
+        removed = tuple(sorted(current - target))
+        added = tuple(sorted(target - current))
+        for edge in removed:
+            self.matching.remove(*edge)
+        for edge in added:
+            self.matching.add(*edge)
+        return added, removed
+
+    def _reset_policy_state(self) -> None:
+        self._make_experts()

@@ -1,0 +1,122 @@
+"""Prediction-augmented online b-matching (the paper's §5 future-work direction).
+
+The paper closes by noting that real traffic has temporal structure and that
+algorithms leveraging *predictions* of future demand are an interesting
+extension.  :class:`PredictiveBMA` implements the natural candidate: a
+sliding-window frequency predictor estimates per-pair demand, and every
+``period`` requests the algorithm reconfigures towards the greedy
+maximum-saving b-matching of the predicted demand.  Between reconfiguration
+points it behaves obliviously (routing over whatever matching is installed).
+
+This is *not* part of the paper's evaluation; it exists so the ablation
+benchmarks can quantify how much headroom predictions offer over the purely
+online R-BMA on traces with strong temporal structure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..config import MatchingConfig
+from ..errors import ConfigurationError
+from ..matching import greedy_b_matching
+from ..topology import Topology
+from ..types import NodePair, Request
+from .base import OnlineBMatchingAlgorithm
+
+__all__ = ["SlidingWindowPredictor", "PredictiveBMA"]
+
+
+class SlidingWindowPredictor:
+    """Predicts per-pair demand as the (length-weighted) frequency in a sliding window."""
+
+    def __init__(self, window: int = 2000):
+        if window < 1:
+            raise ConfigurationError(f"predictor window must be >= 1, got {window}")
+        self.window = int(window)
+        self._recent: Deque[tuple[NodePair, float]] = deque()
+        self._weights: Dict[NodePair, float] = {}
+
+    def observe(self, pair: NodePair, saving: float) -> None:
+        """Record one request with its potential routing-cost saving."""
+        self._recent.append((pair, saving))
+        self._weights[pair] = self._weights.get(pair, 0.0) + saving
+        while len(self._recent) > self.window:
+            old_pair, old_saving = self._recent.popleft()
+            remaining = self._weights.get(old_pair, 0.0) - old_saving
+            if remaining <= 1e-12:
+                self._weights.pop(old_pair, None)
+            else:
+                self._weights[old_pair] = remaining
+
+    def predicted_weights(self) -> Dict[NodePair, float]:
+        """Current window demand estimate, per pair."""
+        return dict(self._weights)
+
+    def reset(self) -> None:
+        """Clear the window."""
+        self._recent.clear()
+        self._weights.clear()
+
+
+class PredictiveBMA(OnlineBMatchingAlgorithm):
+    """Periodically reconfigures to the predicted-best static b-matching.
+
+    Parameters
+    ----------
+    period:
+        Number of requests between reconfiguration points.
+    window:
+        Size of the sliding window feeding the predictor.
+    """
+
+    name = "predictive"
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: MatchingConfig,
+        rng: Optional[np.random.Generator | int] = None,
+        period: int = 1000,
+        window: int = 2000,
+    ):
+        super().__init__(topology, config, rng)
+        if period < 1:
+            raise ConfigurationError(f"period must be >= 1, got {period}")
+        self.period = int(period)
+        self.predictor = SlidingWindowPredictor(window)
+        self._since_reconfig = 0
+
+    def _reconfigure(
+        self,
+        pair: NodePair,
+        length: float,
+        served_by_matching: bool,
+        request: Request,
+    ) -> tuple[Tuple[NodePair, ...], Tuple[NodePair, ...]]:
+        self.predictor.observe(pair, max(length - 1.0, 0.0) * request.size)
+        self._since_reconfig += 1
+        if self._since_reconfig < self.period:
+            return (), ()
+        self._since_reconfig = 0
+        return self._install_predicted_matching()
+
+    def _install_predicted_matching(self) -> tuple[Tuple[NodePair, ...], Tuple[NodePair, ...]]:
+        target = greedy_b_matching(
+            self.predictor.predicted_weights(), self.topology.n_racks, self.config.b
+        )
+        current = set(self.matching.edges)
+        removed = tuple(sorted(current - target))
+        added = tuple(sorted(target - current))
+        for edge in removed:
+            self.matching.remove(*edge)
+        for edge in added:
+            self.matching.add(*edge)
+        return added, removed
+
+    def _reset_policy_state(self) -> None:
+        self.predictor.reset()
+        self._since_reconfig = 0

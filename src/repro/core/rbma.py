@@ -1,0 +1,129 @@
+"""R-BMA — the paper's randomized online (b, a)-matching algorithm.
+
+R-BMA composes the two reductions of the paper:
+
+* **Theorem 1 (reduction to the uniform case).**  For every node pair ``e``
+  let ``k_e = ⌈α / ℓ_e⌉``.  Only every ``k_e``-th request to ``e`` (a
+  *special* request) is forwarded to the uniform-case algorithm; R-BMA simply
+  repeats the uniform algorithm's reconfiguration choices.  Intuitively, a
+  pair must accumulate about ``α`` worth of fixed-network routing cost before
+  it is worth touching the matching for it.
+* **Theorem 2 (uniform case via paging).**  The uniform algorithm runs one
+  paging instance of capacity ``b`` per rack (randomized marking by default)
+  and keeps a pair matched iff it is cached at both endpoints, with lazy
+  (marked) removals.
+
+With the randomized marking / Young paging algorithm this yields the
+``O((1 + ℓ_max/α)·log(b/(b−a+1)))`` competitive ratio of Corollary 3, an
+exponential improvement over the best deterministic algorithm (Θ(b)).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..config import MatchingConfig
+from ..paging.registry import PagingFactory, make_paging_factory
+from ..topology import Topology
+from ..types import NodePair, Request
+from .base import OnlineBMatchingAlgorithm
+from .uniform import PerNodePagingMatcher
+
+__all__ = ["RBMA"]
+
+
+class RBMA(OnlineBMatchingAlgorithm):
+    """Randomized online b-matching algorithm (the paper's contribution).
+
+    Parameters
+    ----------
+    topology, config, rng:
+        See :class:`~repro.core.base.OnlineBMatchingAlgorithm`.
+    paging_policy:
+        Name of the per-node paging policy (default ``"marking"``, the
+        randomized marking algorithm).  Other registered policies (``"lru"``,
+        ``"fifo"``, ``"lfu"``, ``"random"``) are available for ablations.
+    paging_factory:
+        Alternatively, an explicit factory ``(capacity, rng) -> PagingAlgorithm``
+        overriding ``paging_policy``.
+    """
+
+    name = "rbma"
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: MatchingConfig,
+        rng: Optional[np.random.Generator | int] = None,
+        paging_policy: str = "marking",
+        paging_factory: Optional[PagingFactory] = None,
+    ):
+        super().__init__(topology, config, rng)
+        self._paging_policy = paging_policy
+        self._factory = paging_factory or make_paging_factory(paging_policy)
+        self._matcher = PerNodePagingMatcher(self.matching, self._factory, self.rng)
+        # Per-pair request counters driving the Theorem 1 filter.  Thresholds
+        # k_e depend only on the pair's fixed-network length and alpha, so
+        # they are computed lazily and memoised per distinct length.
+        self._counters: Dict[NodePair, int] = {}
+        self._threshold_by_length: Dict[float, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Theorem 1 filter
+    # ------------------------------------------------------------------ #
+    def threshold(self, length: float) -> int:
+        """``k_e = ⌈α / ℓ_e⌉`` for a pair with fixed-network length ``ℓ_e``."""
+        k = self._threshold_by_length.get(length)
+        if k is None:
+            k = max(1, math.ceil(self.config.alpha / max(length, 1.0)))
+            self._threshold_by_length[length] = k
+        return k
+
+    def pending_count(self, pair: NodePair) -> int:
+        """Requests to ``pair`` seen since its last special request."""
+        return self._counters.get(pair, 0)
+
+    # ------------------------------------------------------------------ #
+    # Policy
+    # ------------------------------------------------------------------ #
+    def _reconfigure(
+        self,
+        pair: NodePair,
+        length: float,
+        served_by_matching: bool,
+        request: Request,
+    ) -> tuple[Tuple[NodePair, ...], Tuple[NodePair, ...]]:
+        count = self._counters.get(pair, 0) + 1
+        if count < self.threshold(length):
+            self._counters[pair] = count
+            return (), ()
+        # Special request: forward to the uniform-case machinery and restart
+        # the pair's counter.
+        self._counters[pair] = 0
+        return self._matcher.process(pair)
+
+    def _reset_policy_state(self) -> None:
+        self._matcher = PerNodePagingMatcher(self.matching, self._factory, self.rng)
+        self._counters.clear()
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers (used by analysis / tests)
+    # ------------------------------------------------------------------ #
+    @property
+    def matcher(self) -> PerNodePagingMatcher:
+        """The underlying uniform-case machinery (per-node pagers)."""
+        return self._matcher
+
+    def theoretical_upper_bound(self) -> float:
+        """Corollary 3 upper bound for this instance's parameters."""
+        from ..paging.bounds import rbma_upper_bound
+
+        return rbma_upper_bound(
+            self.config.b,
+            self.config.effective_a,
+            self.topology.max_distance(),
+            self.config.alpha,
+        )

@@ -1,0 +1,83 @@
+"""Name-based registry of online b-matching algorithms.
+
+The sweep runner and the benchmark harness describe experiments by algorithm
+name (``"rbma"``, ``"bma"``, ``"so-bma"``, ``"oblivious"``, ...); the registry
+turns those names into configured instances.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from ..config import MatchingConfig
+from ..errors import ConfigurationError
+from ..topology import Topology
+from .base import OnlineBMatchingAlgorithm
+from .bma import BMA
+from .greedy import GreedyBMA
+from .hybrid import HybridBMA
+from .oblivious import ObliviousRouting
+from .predictive import PredictiveBMA
+from .rbma import RBMA
+from .rotor import RotorBMA
+from .static_offline import StaticOfflineBMA
+from .uniform import UniformBMatching
+
+__all__ = ["register_algorithm", "make_algorithm", "available_algorithms", "AlgorithmFactory"]
+
+#: Signature of an algorithm factory.
+AlgorithmFactory = Callable[..., OnlineBMatchingAlgorithm]
+
+_REGISTRY: Dict[str, AlgorithmFactory] = {}
+
+
+def register_algorithm(name: str, factory: AlgorithmFactory) -> None:
+    """Register an algorithm constructor under ``name`` (lower-cased)."""
+    key = name.lower()
+    if key in _REGISTRY:
+        raise ConfigurationError(f"algorithm {name!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def available_algorithms() -> list[str]:
+    """Names of all registered algorithms, sorted."""
+    return sorted(_REGISTRY)
+
+
+def make_algorithm(
+    name: str,
+    topology: Topology,
+    config: MatchingConfig,
+    rng: Optional[np.random.Generator | int] = None,
+    **kwargs: Any,
+) -> OnlineBMatchingAlgorithm:
+    """Instantiate a registered algorithm by name.
+
+    Examples
+    --------
+    >>> from repro.topology import LeafSpineTopology
+    >>> from repro.config import MatchingConfig
+    >>> algo = make_algorithm("rbma", LeafSpineTopology(8), MatchingConfig(b=2, alpha=2))
+    >>> algo.name
+    'rbma'
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown algorithm {name!r}; available: {', '.join(available_algorithms())}"
+        )
+    return _REGISTRY[key](topology, config, rng, **kwargs)
+
+
+register_algorithm("rbma", RBMA)
+register_algorithm("bma", BMA)
+register_algorithm("oblivious", ObliviousRouting)
+register_algorithm("greedy", GreedyBMA)
+register_algorithm("so-bma", StaticOfflineBMA)
+register_algorithm("sobma", StaticOfflineBMA)
+register_algorithm("uniform", UniformBMatching)
+register_algorithm("predictive", PredictiveBMA)
+register_algorithm("rotor", RotorBMA)
+register_algorithm("hybrid", HybridBMA)

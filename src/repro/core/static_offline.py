@@ -1,0 +1,98 @@
+"""SO-BMA — static offline maximum-weight b-matching baseline.
+
+The paper's strongest comparison point is a *static* matching computed with
+full knowledge of the trace: aggregate the demand of the whole request
+sequence into pair weights, compute a maximum-weight b-matching once, install
+it, and never reconfigure.  SO-BMA captures all spatial structure but no
+temporal structure, which is why the paper observes it winning clearly on the
+(temporally structure-free) Microsoft trace while being roughly on par with
+the online algorithms on the Facebook traces.
+
+Weights are the *routing-cost savings* of matching a pair: each request to a
+pair of fixed-network length ``ℓ_e`` saves ``ℓ_e − 1`` when served by a
+matching edge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import MatchingConfig
+from ..errors import ConfigurationError
+from ..matching import greedy_b_matching, iterated_max_weight_b_matching
+from ..topology import Topology
+from ..types import NodePair, Request
+from .base import OnlineBMatchingAlgorithm
+
+__all__ = ["StaticOfflineBMA"]
+
+
+class StaticOfflineBMA(OnlineBMatchingAlgorithm):
+    """Static offline maximum-weight b-matching (SO-BMA).
+
+    Parameters
+    ----------
+    solver:
+        ``"blossom"`` (default) computes ``b`` rounds of maximum-weight
+        matching with NetworkX's blossom algorithm, as in the paper;
+        ``"greedy"`` uses the 1/2-approximate greedy instead (much faster for
+        large sweeps).
+    """
+
+    name = "so-bma"
+    requires_full_trace = True
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: MatchingConfig,
+        rng: Optional[np.random.Generator | int] = None,
+        solver: str = "blossom",
+    ):
+        super().__init__(topology, config, rng)
+        if solver not in ("blossom", "greedy"):
+            raise ConfigurationError(f"unknown SO-BMA solver {solver!r}")
+        self.solver = solver
+        self._fitted = False
+
+    def fit(self, requests: Sequence[Request]) -> None:
+        """Aggregate the trace into pair weights and install the best static matching."""
+        weights: Dict[NodePair, float] = {}
+        for request in requests:
+            pair = self.topology.validate_pair(request.src, request.dst)
+            saving = (self.topology.pair_length(pair) - 1.0) * request.size
+            if saving <= 0:
+                continue
+            weights[pair] = weights.get(pair, 0.0) + saving
+
+        if self.solver == "blossom":
+            chosen = iterated_max_weight_b_matching(weights, self.topology.n_racks, self.config.b)
+        else:
+            chosen = greedy_b_matching(weights, self.topology.n_racks, self.config.b)
+
+        # Install the static matching; the one-time setup cost is charged to
+        # reconfiguration so that total-cost comparisons remain honest even
+        # though the paper's figures plot routing cost only.
+        for pair in sorted(chosen):
+            self.matching.add(*pair)
+        self.total_reconfiguration_cost += len(chosen) * self.config.alpha
+        self._fitted = True
+
+    @property
+    def fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._fitted
+
+    def _reconfigure(
+        self,
+        pair: NodePair,
+        length: float,
+        served_by_matching: bool,
+        request: Request,
+    ) -> tuple[Tuple[NodePair, ...], Tuple[NodePair, ...]]:
+        return (), ()
+
+    def _reset_policy_state(self) -> None:
+        self._fitted = False

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised intentionally by the library derive from
+:class:`ReproError`, so callers can catch library failures without catching
+programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "TopologyError",
+    "TrafficError",
+    "MatchingError",
+    "DegreeConstraintError",
+    "PagingError",
+    "SimulationError",
+    "SolverError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or algorithm configuration is invalid."""
+
+
+class TopologyError(ReproError):
+    """A topology cannot be constructed or queried as requested."""
+
+
+class TrafficError(ReproError):
+    """A traffic trace cannot be generated, parsed, or validated."""
+
+
+class MatchingError(ReproError):
+    """A b-matching operation violates the structure's contract."""
+
+
+class DegreeConstraintError(MatchingError):
+    """Adding an edge would exceed the per-node degree bound ``b``."""
+
+
+class PagingError(ReproError):
+    """A paging algorithm was driven incorrectly (e.g. invalid cache size)."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was misused or reached an inconsistent state."""
+
+
+class SolverError(ReproError):
+    """A static matching solver failed or was given unsupported input."""

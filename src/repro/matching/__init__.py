@@ -1,0 +1,27 @@
+"""b-matching data structures and static solvers.
+
+A *b-matching* over racks ``0..n-1`` is a set of node pairs (the reconfigurable
+optical links) in which every rack is incident to at most ``b`` pairs.  The
+online algorithms in :mod:`repro.core` maintain a dynamic
+:class:`~repro.matching.bmatching.BMatching`; the offline baseline SO-BMA uses
+the static maximum-weight solvers in :mod:`repro.matching.static_solver`.
+"""
+
+from .bmatching import BMatching
+from .static_solver import (
+    exact_max_weight_b_matching,
+    greedy_b_matching,
+    iterated_max_weight_b_matching,
+    matching_weight,
+)
+from .validation import check_b_matching, is_valid_b_matching
+
+__all__ = [
+    "BMatching",
+    "greedy_b_matching",
+    "iterated_max_weight_b_matching",
+    "exact_max_weight_b_matching",
+    "matching_weight",
+    "is_valid_b_matching",
+    "check_b_matching",
+]

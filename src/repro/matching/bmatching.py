@@ -1,0 +1,240 @@
+"""Dynamic b-matching with support for lazy ("marked") removals.
+
+The structure tracks, for every rack, the set of incident matching edges and
+enforces the degree bound ``b`` on *insertion*.  Following footnote 2 of the
+paper, removals may be *lazy*: an edge can be *marked for removal* without
+being removed; marked edges are only pruned when a rack's degree would exceed
+``b``.  Keeping marked edges around can only reduce routing cost (an extra
+matching edge never hurts) while preserving feasibility.
+
+The structure itself is policy-free; the online algorithms decide what to
+add, mark, and prune.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterator, Set
+
+from ..errors import DegreeConstraintError, MatchingError
+from ..types import NodePair, canonical_pair
+
+__all__ = ["BMatching"]
+
+
+class BMatching:
+    """A degree-bounded dynamic edge set over ``n`` racks.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of racks.
+    b:
+        Maximum number of matching edges incident to any rack.
+    """
+
+    def __init__(self, n_nodes: int, b: int):
+        if n_nodes < 2:
+            raise MatchingError(f"need at least 2 nodes, got {n_nodes}")
+        if b < 1:
+            raise MatchingError(f"degree bound b must be >= 1, got {b}")
+        self._n = int(n_nodes)
+        self._b = int(b)
+        self._edges: Set[NodePair] = set()
+        self._incident: Dict[int, Set[NodePair]] = defaultdict(set)
+        self._marked: Set[NodePair] = set()
+        # Cumulative counters used for reconfiguration-cost accounting.
+        self._additions = 0
+        self._removals = 0
+
+    # ------------------------------------------------------------------ #
+    # Read access
+    # ------------------------------------------------------------------ #
+    @property
+    def n_nodes(self) -> int:
+        """Number of racks."""
+        return self._n
+
+    @property
+    def b(self) -> int:
+        """Per-rack degree bound."""
+        return self._b
+
+    @property
+    def edges(self) -> FrozenSet[NodePair]:
+        """Snapshot of the current matching edges (including marked ones)."""
+        return frozenset(self._edges)
+
+    @property
+    def marked_edges(self) -> FrozenSet[NodePair]:
+        """Edges currently marked for lazy removal."""
+        return frozenset(self._marked)
+
+    @property
+    def additions(self) -> int:
+        """Total number of edge insertions so far."""
+        return self._additions
+
+    @property
+    def removals(self) -> int:
+        """Total number of edge removals so far."""
+        return self._removals
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __iter__(self) -> Iterator[NodePair]:
+        return iter(self._edges)
+
+    def __contains__(self, pair: tuple[int, int]) -> bool:
+        return canonical_pair(*pair) in self._edges
+
+    def degree(self, node: int) -> int:
+        """Number of matching edges incident to ``node``."""
+        self._check_node(node)
+        return len(self._incident[node])
+
+    def edges_at(self, node: int) -> FrozenSet[NodePair]:
+        """Matching edges incident to ``node``."""
+        self._check_node(node)
+        return frozenset(self._incident[node])
+
+    def is_full(self, node: int) -> bool:
+        """Whether ``node`` has reached its degree bound."""
+        return self.degree(node) >= self._b
+
+    def has_capacity(self, u: int, v: int) -> bool:
+        """Whether the pair ``{u, v}`` could be added without pruning."""
+        pair = canonical_pair(u, v)
+        if pair in self._edges:
+            return False
+        return self.degree(pair[0]) < self._b and self.degree(pair[1]) < self._b
+
+    def is_marked(self, u: int, v: int) -> bool:
+        """Whether the edge ``{u, v}`` is marked for lazy removal."""
+        return canonical_pair(u, v) in self._marked
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add(self, u: int, v: int) -> NodePair:
+        """Insert the edge ``{u, v}``.
+
+        Raises
+        ------
+        MatchingError
+            If the edge is already present.
+        DegreeConstraintError
+            If either endpoint is at its degree bound; callers wanting lazy
+            behaviour should call :meth:`prune_to_capacity` first.
+        """
+        pair = canonical_pair(u, v)
+        self._check_node(pair[0])
+        self._check_node(pair[1])
+        if pair in self._edges:
+            raise MatchingError(f"edge {pair} is already in the matching")
+        for endpoint in pair:
+            if len(self._incident[endpoint]) >= self._b:
+                raise DegreeConstraintError(
+                    f"adding {pair} would exceed degree bound b={self._b} at node {endpoint}"
+                )
+        self._edges.add(pair)
+        self._incident[pair[0]].add(pair)
+        self._incident[pair[1]].add(pair)
+        self._additions += 1
+        return pair
+
+    def remove(self, u: int, v: int) -> NodePair:
+        """Remove the edge ``{u, v}`` (whether marked or not)."""
+        pair = canonical_pair(u, v)
+        if pair not in self._edges:
+            raise MatchingError(f"edge {pair} is not in the matching")
+        self._edges.remove(pair)
+        self._incident[pair[0]].discard(pair)
+        self._incident[pair[1]].discard(pair)
+        self._marked.discard(pair)
+        self._removals += 1
+        return pair
+
+    def mark_for_removal(self, u: int, v: int) -> bool:
+        """Mark the edge ``{u, v}`` for lazy removal; no-op if absent.
+
+        Returns whether the edge was present (and is now marked).
+        """
+        pair = canonical_pair(u, v)
+        if pair not in self._edges:
+            return False
+        self._marked.add(pair)
+        return True
+
+    def unmark(self, u: int, v: int) -> bool:
+        """Clear the removal mark from edge ``{u, v}``; returns whether it was marked."""
+        pair = canonical_pair(u, v)
+        if pair in self._marked:
+            self._marked.discard(pair)
+            return True
+        return False
+
+    def prune_to_capacity(self, node: int) -> list[NodePair]:
+        """Remove marked edges at ``node`` until it has spare capacity.
+
+        Removes marked edges incident to ``node`` (in deterministic order)
+        while the node's degree is at or above the bound ``b``, i.e. until a
+        new edge could be added at ``node``.  Returns the removed edges.
+
+        Raises
+        ------
+        DegreeConstraintError
+            If the node is full and has no marked incident edges to prune.
+        """
+        self._check_node(node)
+        removed: list[NodePair] = []
+        while len(self._incident[node]) >= self._b:
+            marked_here = sorted(p for p in self._incident[node] if p in self._marked)
+            if not marked_here:
+                raise DegreeConstraintError(
+                    f"node {node} is at degree bound b={self._b} with no marked edges to prune"
+                )
+            victim = marked_here[0]
+            self.remove(*victim)
+            removed.append(victim)
+        return removed
+
+    def clear(self) -> None:
+        """Remove every edge (counts towards :attr:`removals`)."""
+        for pair in list(self._edges):
+            self.remove(*pair)
+
+    def reset_counters(self) -> None:
+        """Zero the addition/removal counters without touching the edges.
+
+        Used by algorithms whose initial matching models a pre-existing
+        steady state (e.g. the demand-oblivious rotor baseline) so that the
+        setup is not charged as online reconfiguration cost.
+        """
+        self._additions = 0
+        self._removals = 0
+
+    def copy(self) -> "BMatching":
+        """Deep copy of the structure (used by tests and history collection)."""
+        clone = BMatching(self._n, self._b)
+        for pair in self._edges:
+            clone.add(*pair)
+        for pair in self._marked:
+            clone.mark_for_removal(*pair)
+        clone._additions = self._additions
+        clone._removals = self._removals
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _check_node(self, node: int) -> None:
+        if not (0 <= node < self._n):
+            raise MatchingError(f"node {node} out of range for n={self._n}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<BMatching n={self._n} b={self._b} edges={len(self._edges)} "
+            f"marked={len(self._marked)}>"
+        )

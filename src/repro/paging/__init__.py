@@ -1,0 +1,47 @@
+"""Paging (caching) algorithms.
+
+The paper's randomized online b-matching algorithm R-BMA is built on top of
+paging: every rack runs its own paging instance whose "pages" are the node
+pairs incident to that rack and whose cache size is ``b`` (Theorem 2).  This
+subpackage provides the paging algorithms used there — most importantly the
+randomized marking algorithm, which gives the ``O(log b)`` competitive ratio —
+plus deterministic policies used as ablations and Belady's offline optimum
+used by the analysis and tests.
+"""
+
+from .base import EvictionCallback, PagingAlgorithm, PagingResult
+from .marking import RandomizedMarking
+from .lru import LRUPaging
+from .fifo import FIFOPaging
+from .lfu import LFUPaging
+from .random_eviction import RandomEvictionPaging
+from .belady import BeladyPaging, offline_paging_cost
+from .phases import PhasePartition, partition_into_phases
+from .bounds import (
+    harmonic_number,
+    marking_competitive_ratio,
+    randomized_paging_lower_bound,
+    resource_augmented_ratio,
+)
+from .registry import available_paging_policies, make_paging_factory
+
+__all__ = [
+    "PagingAlgorithm",
+    "PagingResult",
+    "EvictionCallback",
+    "RandomizedMarking",
+    "LRUPaging",
+    "FIFOPaging",
+    "LFUPaging",
+    "RandomEvictionPaging",
+    "BeladyPaging",
+    "offline_paging_cost",
+    "PhasePartition",
+    "partition_into_phases",
+    "harmonic_number",
+    "marking_competitive_ratio",
+    "randomized_paging_lower_bound",
+    "resource_augmented_ratio",
+    "available_paging_policies",
+    "make_paging_factory",
+]

@@ -1,0 +1,41 @@
+"""First-in-first-out paging.
+
+Deterministic ``k``-competitive policy that evicts the page fetched earliest,
+independently of how often it was requested since.  Included as an ablation
+policy for R-BMA and as a baseline for paging tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable
+
+from .base import PagingAlgorithm
+
+__all__ = ["FIFOPaging"]
+
+
+class FIFOPaging(PagingAlgorithm):
+    """Evict the page that has been in the cache the longest."""
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._queue: deque[Hashable] = deque()
+
+    def _evict_victim(self) -> Hashable:
+        # Skip queue entries that were force-dropped and are no longer cached.
+        while self._queue and self._queue[0] not in self._cache:
+            self._queue.popleft()
+        return self._queue[0]
+
+    def _on_fetch(self, page: Hashable) -> None:
+        self._queue.append(page)
+
+    def _on_evict(self, page: Hashable) -> None:
+        try:
+            self._queue.remove(page)
+        except ValueError:
+            pass
+
+    def _on_reset(self) -> None:
+        self._queue.clear()

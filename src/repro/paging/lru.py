@@ -1,0 +1,41 @@
+"""Least-recently-used paging.
+
+Classic deterministic ``k``-competitive policy.  Used in the ablation that
+replaces the randomized marking algorithm inside R-BMA with deterministic
+policies, and as a general-purpose baseline in tests.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable
+
+from .base import PagingAlgorithm
+
+__all__ = ["LRUPaging"]
+
+
+class LRUPaging(PagingAlgorithm):
+    """Evict the page whose most recent request is furthest in the past."""
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._order: OrderedDict[Hashable, None] = OrderedDict()
+
+    def _evict_victim(self) -> Hashable:
+        # The first key in the ordered dict is the least recently used page.
+        victim = next(iter(self._order))
+        return victim
+
+    def _on_hit(self, page: Hashable) -> None:
+        self._order.move_to_end(page)
+
+    def _on_fetch(self, page: Hashable) -> None:
+        self._order[page] = None
+        self._order.move_to_end(page)
+
+    def _on_evict(self, page: Hashable) -> None:
+        self._order.pop(page, None)
+
+    def _on_reset(self) -> None:
+        self._order.clear()

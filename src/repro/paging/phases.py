@@ -1,0 +1,92 @@
+"""Phase partition of a paging request sequence.
+
+The analysis of the marking algorithm (and of most randomized paging bounds)
+decomposes a request sequence into *k-phases*: maximal intervals containing
+requests to at most ``k`` distinct pages.  The number of phases lower-bounds
+the optimal cost (``Opt >= phases - 1`` for a cache of size ``k``), which the
+tests use to sanity-check empirical competitive ratios without running an
+exact offline solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Sequence
+
+from ..errors import PagingError
+
+__all__ = ["PhasePartition", "partition_into_phases"]
+
+
+@dataclass(frozen=True)
+class PhasePartition:
+    """Result of a k-phase decomposition.
+
+    Attributes
+    ----------
+    k:
+        Phase width (cache size used for the decomposition).
+    boundaries:
+        Start indices of each phase; ``boundaries[0] == 0``.
+    distinct_per_phase:
+        Number of distinct pages requested in each phase.
+    new_pages_per_phase:
+        For every phase after the first, the number of pages requested in it
+        that were *not* requested in the previous phase — the quantity that
+        drives the marking algorithm's expected cost.
+    """
+
+    k: int
+    boundaries: List[int]
+    distinct_per_phase: List[int]
+    new_pages_per_phase: List[int]
+
+    @property
+    def n_phases(self) -> int:
+        """Number of phases in the partition."""
+        return len(self.boundaries)
+
+    def opt_lower_bound(self) -> int:
+        """A lower bound on the optimal offline cost with cache size ``k``.
+
+        Every phase except possibly the first forces the optimum to fault at
+        least once (a standard argument: phase ``i`` plus the first request
+        of phase ``i+1`` touches ``k+1`` distinct pages).
+        """
+        return max(0, self.n_phases - 1)
+
+
+def partition_into_phases(sequence: Sequence[Hashable], k: int) -> PhasePartition:
+    """Decompose ``sequence`` into maximal phases of at most ``k`` distinct pages."""
+    if k < 1:
+        raise PagingError(f"phase width k must be >= 1, got {k}")
+    boundaries: list[int] = []
+    distinct_per_phase: list[int] = []
+    phases_pages: list[set[Hashable]] = []
+
+    current: set[Hashable] = set()
+    for i, page in enumerate(sequence):
+        if not boundaries:
+            boundaries.append(0)
+        if page in current:
+            continue
+        if len(current) == k:
+            # Start a new phase at position i.
+            phases_pages.append(current)
+            distinct_per_phase.append(len(current))
+            boundaries.append(i)
+            current = set()
+        current.add(page)
+    if boundaries:
+        phases_pages.append(current)
+        distinct_per_phase.append(len(current))
+
+    new_pages: list[int] = []
+    for prev, cur in zip(phases_pages, phases_pages[1:]):
+        new_pages.append(len(cur - prev))
+    return PhasePartition(
+        k=k,
+        boundaries=boundaries,
+        distinct_per_phase=distinct_per_phase,
+        new_pages_per_phase=new_pages,
+    )

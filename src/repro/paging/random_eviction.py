@@ -1,0 +1,31 @@
+"""Uniform random eviction paging.
+
+Evicts a uniformly random cached page on every miss with a full cache.  It is
+``k``-competitive (no better than deterministic policies) and serves as the
+"naive randomization" control against the marking algorithm in ablations: the
+power of randomization in the paper comes from marking's phase structure, not
+from randomness alone.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+import numpy as np
+
+from .base import PagingAlgorithm
+
+__all__ = ["RandomEvictionPaging"]
+
+
+class RandomEvictionPaging(PagingAlgorithm):
+    """Evict a uniformly random cached page."""
+
+    def __init__(self, capacity: int, rng: Optional[np.random.Generator | int] = None):
+        super().__init__(capacity)
+        self._rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+
+    def _evict_victim(self) -> Hashable:
+        candidates = sorted(self._cache, key=repr)
+        idx = int(self._rng.integers(len(candidates)))
+        return candidates[idx]

@@ -1,0 +1,69 @@
+"""Factories for paging policies, addressed by name.
+
+R-BMA takes a *paging factory* — a callable ``(capacity, rng) -> PagingAlgorithm``
+— so the ablation benchmarks can swap the policy driving each per-node cache
+without touching the matching logic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .base import PagingAlgorithm
+from .fifo import FIFOPaging
+from .lfu import LFUPaging
+from .lru import LRUPaging
+from .marking import RandomizedMarking
+from .random_eviction import RandomEvictionPaging
+
+__all__ = ["PagingFactory", "make_paging_factory", "available_paging_policies"]
+
+#: Signature of a paging factory: capacity and an optional RNG.
+PagingFactory = Callable[[int, Optional[np.random.Generator]], PagingAlgorithm]
+
+
+def _marking(capacity: int, rng: Optional[np.random.Generator]) -> PagingAlgorithm:
+    return RandomizedMarking(capacity, rng=rng)
+
+
+def _random(capacity: int, rng: Optional[np.random.Generator]) -> PagingAlgorithm:
+    return RandomEvictionPaging(capacity, rng=rng)
+
+
+def _lru(capacity: int, rng: Optional[np.random.Generator]) -> PagingAlgorithm:
+    return LRUPaging(capacity)
+
+
+def _fifo(capacity: int, rng: Optional[np.random.Generator]) -> PagingAlgorithm:
+    return FIFOPaging(capacity)
+
+
+def _lfu(capacity: int, rng: Optional[np.random.Generator]) -> PagingAlgorithm:
+    return LFUPaging(capacity)
+
+
+_POLICIES: Dict[str, PagingFactory] = {
+    "marking": _marking,
+    "random": _random,
+    "lru": _lru,
+    "fifo": _fifo,
+    "lfu": _lfu,
+}
+
+
+def available_paging_policies() -> list[str]:
+    """Names of the registered paging policies."""
+    return sorted(_POLICIES)
+
+
+def make_paging_factory(name: str) -> PagingFactory:
+    """Return the paging factory registered under ``name``."""
+    key = name.lower()
+    if key not in _POLICIES:
+        raise ConfigurationError(
+            f"unknown paging policy {name!r}; available: {', '.join(available_paging_policies())}"
+        )
+    return _POLICIES[key]

@@ -1,0 +1,27 @@
+"""Simulation engine, experiment runner and result containers.
+
+The engine replays a trace through an online b-matching algorithm, recording
+cumulative routing cost, reconfiguration cost and wall-clock execution time at
+evenly spaced checkpoints — exactly the series plotted in the paper's figures
+(routing cost vs. number of requests, execution time vs. number of requests).
+"""
+
+from .results import AggregateResult, CheckpointSeries, RunResult, aggregate_runs
+from .engine import run_simulation
+from .timer import Timer
+from .runner import ExperimentRunner, RunSpec
+from .sweep import run_sweep
+from .parallel import run_specs_parallel
+
+__all__ = [
+    "CheckpointSeries",
+    "RunResult",
+    "AggregateResult",
+    "aggregate_runs",
+    "run_simulation",
+    "Timer",
+    "ExperimentRunner",
+    "RunSpec",
+    "run_sweep",
+    "run_specs_parallel",
+]

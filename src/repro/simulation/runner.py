@@ -1,0 +1,163 @@
+"""Declarative experiment runner.
+
+A :class:`RunSpec` fully describes a single run (workload, topology,
+algorithm, parameters, seed) using only names and plain values, so specs are
+picklable and can be executed either sequentially (:class:`ExperimentRunner`)
+or in a process pool (:mod:`repro.simulation.parallel`).  The runner handles
+the paper's methodology details: repetitions with distinct seeds, averaging,
+and building a fat-tree topology sized to the workload by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from ..config import MatchingConfig, SimulationConfig
+from ..core.registry import make_algorithm
+from ..errors import ConfigurationError
+from ..topology.registry import make_topology
+from ..traffic.base import Trace
+from ..traffic.registry import make_workload
+from .engine import run_simulation
+from .results import AggregateResult, RunResult, aggregate_runs
+
+__all__ = ["RunSpec", "ExperimentRunner", "execute_run_spec"]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """A fully declarative description of one simulation run.
+
+    Attributes
+    ----------
+    algorithm:
+        Registered algorithm name (e.g. ``"rbma"``).
+    workload:
+        Registered workload name (e.g. ``"facebook-database"``).
+    b, alpha:
+        Matching parameters.
+    topology:
+        Registered topology name; defaults to ``"fat-tree"`` as in the paper.
+    workload_kwargs, topology_kwargs, algorithm_kwargs:
+        Extra keyword arguments forwarded to the respective factories.
+    seed:
+        Seed for both workload generation and algorithm randomness (the
+        runner derives distinct sub-seeds for each).
+    checkpoints:
+        Number of recorded checkpoints.
+    """
+
+    algorithm: str
+    workload: str
+    b: int
+    alpha: float = 1.0
+    topology: str = "fat-tree"
+    workload_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    topology_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    algorithm_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    seed: Optional[int] = None
+    checkpoints: int = 20
+
+    def with_seed(self, seed: int) -> "RunSpec":
+        """The same spec with a different seed (used for repetitions)."""
+        return replace(self, seed=seed)
+
+
+def _build_trace(spec: RunSpec) -> Trace:
+    kwargs = dict(spec.workload_kwargs)
+    kwargs.setdefault("seed", spec.seed)
+    return make_workload(spec.workload, **kwargs)
+
+
+def _build_topology(spec: RunSpec, trace: Trace):
+    kwargs = dict(spec.topology_kwargs)
+    if "n_racks" not in kwargs and spec.topology not in ("torus", "hypercube"):
+        kwargs["n_racks"] = trace.n_nodes
+    return make_topology(spec.topology, **kwargs)
+
+
+def execute_run_spec(spec: RunSpec, trace: Optional[Trace] = None) -> RunResult:
+    """Execute a single :class:`RunSpec` and return its :class:`RunResult`.
+
+    Parameters
+    ----------
+    spec:
+        The run description.
+    trace:
+        Optionally a pre-generated trace (so several algorithms can share the
+        exact same workload, as the paper's figures require); if omitted the
+        workload is generated from the spec.
+    """
+    trace = trace if trace is not None else _build_trace(spec)
+    topology = _build_topology(spec, trace)
+    config = MatchingConfig(b=spec.b, alpha=spec.alpha)
+    # Algorithm randomness gets a seed derived from the spec seed so that
+    # workload and algorithm randomness are decoupled but reproducible.
+    algo_seed = None if spec.seed is None else spec.seed * 7919 + 13
+    algorithm = make_algorithm(
+        spec.algorithm, topology, config, rng=algo_seed, **dict(spec.algorithm_kwargs)
+    )
+    sim_config = SimulationConfig(checkpoints=spec.checkpoints, seed=spec.seed)
+    return run_simulation(algorithm, trace, sim_config)
+
+
+class ExperimentRunner:
+    """Runs groups of specs sharing a workload, with repetitions and averaging.
+
+    Parameters
+    ----------
+    repetitions:
+        Number of independent repetitions per configuration (the paper uses
+        five); each repetition uses a different derived seed for both the
+        workload and the algorithm randomness.
+    base_seed:
+        Seed from which repetition seeds are derived.
+    """
+
+    def __init__(self, repetitions: int = 1, base_seed: int = 0):
+        if repetitions < 1:
+            raise ConfigurationError(f"repetitions must be >= 1, got {repetitions}")
+        self.repetitions = repetitions
+        self.base_seed = base_seed
+
+    def repetition_seeds(self) -> List[int]:
+        """The derived seeds, one per repetition."""
+        return [self.base_seed + 1000 * r for r in range(self.repetitions)]
+
+    def run(self, spec: RunSpec) -> AggregateResult:
+        """Run one configuration for all repetitions and average the results."""
+        runs = [execute_run_spec(spec.with_seed(seed)) for seed in self.repetition_seeds()]
+        return aggregate_runs(runs)
+
+    def run_many(self, specs: Sequence[RunSpec]) -> List[AggregateResult]:
+        """Run several configurations sequentially."""
+        return [self.run(spec) for spec in specs]
+
+    def compare_on_shared_trace(
+        self, specs: Sequence[RunSpec]
+    ) -> Dict[str, AggregateResult]:
+        """Run several algorithm specs on the *same* generated workloads.
+
+        All specs must name the same workload and workload parameters; per
+        repetition one trace is generated and every algorithm replays it —
+        the setup behind each panel of the paper's figures.  Returns a dict
+        keyed by ``"<algorithm> (b: <b>)"``.
+        """
+        if not specs:
+            raise ConfigurationError("compare_on_shared_trace needs at least one spec")
+        workload_ids = {(s.workload, tuple(sorted(s.workload_kwargs.items()))) for s in specs}
+        if len(workload_ids) != 1:
+            raise ConfigurationError(
+                "compare_on_shared_trace requires all specs to share the same workload"
+            )
+        per_spec_runs: Dict[int, List[RunResult]] = {i: [] for i in range(len(specs))}
+        for seed in self.repetition_seeds():
+            shared_trace = _build_trace(specs[0].with_seed(seed))
+            for i, spec in enumerate(specs):
+                per_spec_runs[i].append(execute_run_spec(spec.with_seed(seed), trace=shared_trace))
+        results: Dict[str, AggregateResult] = {}
+        for i, spec in enumerate(specs):
+            agg = aggregate_runs(per_spec_runs[i])
+            results[agg.label] = agg
+        return results

@@ -1,0 +1,80 @@
+"""Parameter sweeps.
+
+:func:`run_sweep` expands a :class:`~repro.config.SweepConfig` into run specs
+over a single workload and executes them (optionally in parallel), returning
+aggregated results per (algorithm, b, alpha) combination.  This powers the
+cache-size and reconfiguration-cost ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..config import SweepConfig
+from ..errors import ConfigurationError
+from .parallel import run_specs_parallel
+from .results import AggregateResult, aggregate_runs
+from .runner import ExperimentRunner, RunSpec
+
+__all__ = ["run_sweep"]
+
+
+def run_sweep(
+    sweep: SweepConfig,
+    workload: str,
+    workload_kwargs: Optional[Mapping[str, Any]] = None,
+    topology: str = "fat-tree",
+    topology_kwargs: Optional[Mapping[str, Any]] = None,
+    repetitions: int = 1,
+    base_seed: int = 0,
+    checkpoints: int = 10,
+    n_workers: int = 1,
+) -> List[AggregateResult]:
+    """Run every (algorithm, b, alpha) combination of ``sweep`` on one workload.
+
+    Parameters
+    ----------
+    sweep:
+        The cross-product description of algorithms and parameters.
+    workload, workload_kwargs:
+        Registered workload name and its generator arguments.
+    topology, topology_kwargs:
+        Registered topology name and constructor arguments.
+    repetitions, base_seed, checkpoints:
+        Execution parameters (see :class:`~repro.simulation.runner.ExperimentRunner`).
+    n_workers:
+        If greater than 1, the individual runs are distributed over a process
+        pool of that size.
+    """
+    if repetitions < 1:
+        raise ConfigurationError(f"repetitions must be >= 1, got {repetitions}")
+    specs: List[RunSpec] = []
+    for algorithm, b, alpha in sweep.combinations():
+        specs.append(
+            RunSpec(
+                algorithm=algorithm,
+                workload=workload,
+                b=b,
+                alpha=alpha,
+                topology=topology,
+                workload_kwargs=dict(workload_kwargs or {}),
+                topology_kwargs=dict(topology_kwargs or {}),
+                checkpoints=checkpoints,
+            )
+        )
+
+    runner = ExperimentRunner(repetitions=repetitions, base_seed=base_seed)
+    if n_workers <= 1:
+        return runner.run_many(specs)
+
+    # Parallel path: expand repetitions into individual picklable specs.
+    expanded: List[RunSpec] = []
+    for spec in specs:
+        for seed in runner.repetition_seeds():
+            expanded.append(spec.with_seed(seed))
+    results = run_specs_parallel(expanded, n_workers=n_workers)
+    # Re-group the flat result list into per-configuration aggregates.
+    grouped: Dict[int, list] = {i: [] for i in range(len(specs))}
+    for idx, result in zip(range(len(expanded)), results):
+        grouped[idx // repetitions].append(result)
+    return [aggregate_runs(runs) for runs in grouped.values()]

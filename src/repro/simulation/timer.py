@@ -1,0 +1,60 @@
+"""Wall-clock timing utilities.
+
+The paper's execution-time figures (1b, 2b, 3b, 4b) measure the cumulative
+wall-clock time an algorithm spends processing the trace.  :class:`Timer`
+accumulates ``time.perf_counter`` intervals so the engine can exclude its own
+bookkeeping (checkpoint recording) from the measured algorithm time.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """Accumulating stopwatch based on :func:`time.perf_counter`."""
+
+    def __init__(self) -> None:
+        self._elapsed = 0.0
+        self._started_at: Optional[float] = None
+
+    def start(self) -> None:
+        """Start (or restart) the stopwatch; raises if already running."""
+        if self._started_at is not None:
+            raise RuntimeError("Timer is already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop the stopwatch and return the total accumulated time."""
+        if self._started_at is None:
+            raise RuntimeError("Timer is not running")
+        self._elapsed += time.perf_counter() - self._started_at
+        self._started_at = None
+        return self._elapsed
+
+    @property
+    def running(self) -> bool:
+        """Whether the stopwatch is currently running."""
+        return self._started_at is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Accumulated time in seconds (including the current interval if running)."""
+        if self._started_at is not None:
+            return self._elapsed + (time.perf_counter() - self._started_at)
+        return self._elapsed
+
+    def reset(self) -> None:
+        """Zero the accumulated time and stop."""
+        self._elapsed = 0.0
+        self._started_at = None
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,174 @@
+"""Topology abstraction and shared distance-matrix machinery.
+
+A :class:`Topology` wraps a NetworkX graph of the fixed (non-reconfigurable)
+network.  The graph may contain auxiliary switch nodes (aggregation, spine,
+core); only *rack* nodes are endpoints of traffic.  Distances between racks
+are computed once with a vectorised BFS (``scipy.sparse.csgraph``) and stored
+in a dense numpy matrix so that per-request lookups are O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+import networkx as nx
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import shortest_path
+
+from ..errors import TopologyError
+from ..types import NodePair, canonical_pair
+
+__all__ = ["Topology", "build_distance_matrix"]
+
+
+def build_distance_matrix(
+    graph: nx.Graph, rack_nodes: Sequence[Hashable]
+) -> np.ndarray:
+    """Compute the all-pairs shortest-path hop counts between rack nodes.
+
+    Parameters
+    ----------
+    graph:
+        The fixed network, an undirected unweighted graph.  It must be
+        connected at least on the component containing all racks.
+    rack_nodes:
+        The graph nodes acting as racks, in the order in which they map to
+        rack ids ``0 .. n-1``.
+
+    Returns
+    -------
+    numpy.ndarray
+        An ``(n, n)`` float array of hop counts, ``0`` on the diagonal.
+
+    Raises
+    ------
+    TopologyError
+        If some pair of racks is disconnected in the fixed network.
+    """
+    if len(rack_nodes) < 2:
+        raise TopologyError("a topology needs at least two racks")
+    node_list = list(graph.nodes())
+    index = {node: i for i, node in enumerate(node_list)}
+    try:
+        rack_idx = np.array([index[r] for r in rack_nodes], dtype=np.intp)
+    except KeyError as exc:  # pragma: no cover - defensive
+        raise TopologyError(f"rack node {exc} not present in graph") from exc
+
+    adjacency = nx.to_scipy_sparse_array(graph, nodelist=node_list, format="csr", dtype=np.int8)
+    adjacency = csr_matrix(adjacency)
+    # Single vectorised BFS from every rack; unweighted=True uses BFS rather
+    # than Dijkstra, which is both faster and exact for hop counts.
+    dist_from_racks = shortest_path(
+        adjacency, directed=False, unweighted=True, indices=rack_idx
+    )
+    dist = np.asarray(dist_from_racks)[:, rack_idx]
+    if np.isinf(dist).any():
+        raise TopologyError("fixed network does not connect all racks")
+    return dist.astype(np.float64)
+
+
+class Topology:
+    """A fixed datacenter network with ``n`` rack endpoints.
+
+    Parameters
+    ----------
+    graph:
+        Undirected NetworkX graph of the fixed network (racks plus any
+        internal switches).
+    rack_nodes:
+        Graph nodes that act as racks / ToR switches, in rack-id order.
+    name:
+        Human-readable topology name used in results and reports.
+    """
+
+    def __init__(self, graph: nx.Graph, rack_nodes: Sequence[Hashable], name: str = "custom"):
+        if graph.number_of_nodes() == 0:
+            raise TopologyError("topology graph is empty")
+        self._graph = graph
+        self._rack_nodes = list(rack_nodes)
+        self._name = name
+        self._distances = build_distance_matrix(graph, self._rack_nodes)
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """Topology name."""
+        return self._name
+
+    @property
+    def n_racks(self) -> int:
+        """Number of racks (traffic endpoints)."""
+        return len(self._rack_nodes)
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying fixed-network graph (read-only by convention)."""
+        return self._graph
+
+    @property
+    def rack_nodes(self) -> list[Hashable]:
+        """Graph nodes acting as racks, indexed by rack id."""
+        return list(self._rack_nodes)
+
+    @property
+    def distance_matrix(self) -> np.ndarray:
+        """Dense ``(n, n)`` matrix of rack-to-rack hop counts."""
+        return self._distances
+
+    # ------------------------------------------------------------------ #
+    # Distance queries
+    # ------------------------------------------------------------------ #
+    def distance(self, u: int, v: int) -> float:
+        """Shortest-path hop count ``ℓ_{u,v}`` between racks ``u`` and ``v``."""
+        n = self.n_racks
+        if not (0 <= u < n and 0 <= v < n):
+            raise TopologyError(f"rack id out of range: ({u}, {v}) with n={n}")
+        return float(self._distances[u, v])
+
+    def pair_length(self, pair: NodePair) -> float:
+        """Shortest-path length of a canonical node pair."""
+        return self.distance(pair[0], pair[1])
+
+    def distances_for(self, pairs: Iterable[NodePair]) -> np.ndarray:
+        """Vectorised lookup of lengths for many pairs at once."""
+        arr = np.asarray(list(pairs), dtype=np.intp)
+        if arr.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        return self._distances[arr[:, 0], arr[:, 1]]
+
+    def max_distance(self) -> float:
+        """``ℓ_max`` — the largest rack-to-rack distance in the fixed network."""
+        return float(self._distances.max())
+
+    def mean_distance(self) -> float:
+        """Average rack-to-rack distance over distinct pairs."""
+        n = self.n_racks
+        total = self._distances.sum()  # diagonal is zero
+        return float(total / (n * (n - 1)))
+
+    def diameter(self) -> float:
+        """Alias of :meth:`max_distance` restricted to racks."""
+        return self.max_distance()
+
+    # ------------------------------------------------------------------ #
+    # Convenience
+    # ------------------------------------------------------------------ #
+    def all_pairs(self) -> list[NodePair]:
+        """All canonical rack pairs."""
+        n = self.n_racks
+        return [(u, v) for u in range(n) for v in range(u + 1, n)]
+
+    def validate_pair(self, u: int, v: int) -> NodePair:
+        """Canonicalise and range-check a pair of rack ids."""
+        if u == v:
+            raise TopologyError(f"self-pair ({u}, {v}) is not routable")
+        n = self.n_racks
+        if not (0 <= u < n and 0 <= v < n):
+            raise TopologyError(f"rack id out of range: ({u}, {v}) with n={n}")
+        return canonical_pair(u, v)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self._name!r} racks={self.n_racks}>"

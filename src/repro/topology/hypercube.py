@@ -1,0 +1,34 @@
+"""Hypercube topology.
+
+Racks are the vertices of a ``d``-dimensional boolean hypercube (as in BCube /
+MDCube-style server-centric designs referenced in the paper's related work).
+Distances are Hamming distances, giving a moderate diameter ``d = log2(n)``.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..errors import TopologyError
+from .base import Topology
+
+__all__ = ["HypercubeTopology"]
+
+
+class HypercubeTopology(Topology):
+    """``d``-dimensional hypercube with ``2**d`` racks."""
+
+    def __init__(self, dimension: int):
+        if dimension < 1:
+            raise TopologyError(f"hypercube dimension must be >= 1, got {dimension}")
+        if dimension > 16:
+            raise TopologyError(f"hypercube dimension {dimension} is unreasonably large")
+        g = nx.hypercube_graph(dimension)
+        nodes = sorted(g.nodes())
+        self._dimension = dimension
+        super().__init__(g, nodes, name=f"hypercube(d={dimension})")
+
+    @property
+    def dimension(self) -> int:
+        """Number of hypercube dimensions."""
+        return self._dimension

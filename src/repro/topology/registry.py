@@ -1,0 +1,65 @@
+"""Name-based topology registry.
+
+Experiment configuration files and the benchmark harness refer to topologies
+by name (e.g. ``"fat-tree"``); the registry maps those names to constructors
+so sweeps can be described declaratively.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from ..errors import ConfigurationError
+from .base import Topology
+from .expander import ExpanderTopology
+from .fattree import FatTreeTopology
+from .hypercube import HypercubeTopology
+from .leafspine import LeafSpineTopology
+from .ring import RingTopology
+from .star import StarTopology
+from .torus import TorusTopology
+
+__all__ = ["register_topology", "make_topology", "available_topologies"]
+
+_REGISTRY: Dict[str, Callable[..., Topology]] = {}
+
+
+def register_topology(name: str, factory: Callable[..., Topology]) -> None:
+    """Register a topology constructor under ``name`` (lower-cased)."""
+    key = name.lower()
+    if key in _REGISTRY:
+        raise ConfigurationError(f"topology {name!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def available_topologies() -> list[str]:
+    """Names of all registered topologies, sorted."""
+    return sorted(_REGISTRY)
+
+
+def make_topology(name: str, **kwargs: Any) -> Topology:
+    """Instantiate a registered topology by name.
+
+    Examples
+    --------
+    >>> topo = make_topology("leaf-spine", n_racks=8)
+    >>> topo.n_racks
+    8
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown topology {name!r}; available: {', '.join(available_topologies())}"
+        )
+    return _REGISTRY[key](**kwargs)
+
+
+register_topology("fat-tree", FatTreeTopology)
+register_topology("fattree", FatTreeTopology)
+register_topology("leaf-spine", LeafSpineTopology)
+register_topology("leafspine", LeafSpineTopology)
+register_topology("star", StarTopology)
+register_topology("ring", RingTopology)
+register_topology("torus", TorusTopology)
+register_topology("hypercube", HypercubeTopology)
+register_topology("expander", ExpanderTopology)

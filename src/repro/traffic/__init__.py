@@ -1,0 +1,54 @@
+"""Traffic traces and workload generators.
+
+The paper evaluates on proprietary Facebook cluster traces (database,
+web service, Hadoop) and on a Microsoft (ProjecToR) rack-to-rack probability
+matrix.  Those artifacts are not redistributable, so this subpackage provides
+*synthetic equivalents* that reproduce the structural properties the paper
+itself highlights — spatial skew and (for the Facebook traces) temporal
+burstiness — with explicit, documented parameters.  See ``DESIGN.md`` §2 for
+the substitution rationale.
+"""
+
+from .base import Trace, TraceMetadata
+from .matrix import TrafficMatrix
+from .temporal import TemporalModel, interleave_bursts
+from .synthetic import (
+    hotspot_trace,
+    permutation_trace,
+    uniform_random_trace,
+    zipf_pair_trace,
+)
+from .facebook import database_trace, hadoop_trace, web_service_trace
+from .flows import Flow, flows_to_trace, generate_flows
+from .microsoft import microsoft_trace, projector_style_matrix
+from .stats import TraceStatistics, compute_trace_statistics
+from .io import load_trace_csv, load_trace_jsonl, save_trace_csv, save_trace_jsonl
+from .registry import available_workloads, make_workload
+
+__all__ = [
+    "Trace",
+    "TraceMetadata",
+    "TrafficMatrix",
+    "TemporalModel",
+    "interleave_bursts",
+    "uniform_random_trace",
+    "zipf_pair_trace",
+    "hotspot_trace",
+    "permutation_trace",
+    "database_trace",
+    "web_service_trace",
+    "hadoop_trace",
+    "Flow",
+    "generate_flows",
+    "flows_to_trace",
+    "microsoft_trace",
+    "projector_style_matrix",
+    "TraceStatistics",
+    "compute_trace_statistics",
+    "save_trace_csv",
+    "load_trace_csv",
+    "save_trace_jsonl",
+    "load_trace_jsonl",
+    "available_workloads",
+    "make_workload",
+]

@@ -1,0 +1,179 @@
+"""Trace container.
+
+A :class:`Trace` stores a request sequence as two parallel numpy integer
+arrays (sources and destinations) plus metadata describing how it was
+generated.  Arrays keep memory overhead low for million-request traces while
+:meth:`Trace.requests` still yields :class:`~repro.types.Request` objects for
+code that prefers the object interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import TrafficError
+from ..types import NodePair, Request, canonical_pair
+
+__all__ = ["TraceMetadata", "Trace"]
+
+
+@dataclass(frozen=True)
+class TraceMetadata:
+    """Descriptive metadata attached to a trace.
+
+    Attributes
+    ----------
+    name:
+        Workload name (e.g. ``"facebook-database"``).
+    n_nodes:
+        Number of racks the trace addresses.
+    seed:
+        Seed used by the generator (``None`` for loaded/external traces).
+    params:
+        Generator-specific parameters, for reproducibility records.
+    """
+
+    name: str
+    n_nodes: int
+    seed: int | None = None
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+
+class Trace:
+    """A finite sequence of communication requests between racks."""
+
+    def __init__(
+        self,
+        sources: Sequence[int] | np.ndarray,
+        destinations: Sequence[int] | np.ndarray,
+        metadata: TraceMetadata,
+    ):
+        src = np.asarray(sources, dtype=np.int32)
+        dst = np.asarray(destinations, dtype=np.int32)
+        if src.shape != dst.shape or src.ndim != 1:
+            raise TrafficError(
+                f"sources and destinations must be equal-length 1-D arrays, "
+                f"got shapes {src.shape} and {dst.shape}"
+            )
+        if src.size and (src.min() < 0 or dst.min() < 0):
+            raise TrafficError("negative rack id in trace")
+        n = metadata.n_nodes
+        if src.size and (src.max() >= n or dst.max() >= n):
+            raise TrafficError(f"rack id out of range for n_nodes={n}")
+        if np.any(src == dst):
+            raise TrafficError("trace contains self-loop requests")
+        self._src = src
+        self._dst = dst
+        self.metadata = metadata
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_pairs(
+        cls, pairs: Iterable[tuple[int, int]], n_nodes: int, name: str = "custom",
+        seed: int | None = None, params: Mapping[str, Any] | None = None,
+    ) -> "Trace":
+        """Build a trace from an iterable of ``(src, dst)`` tuples."""
+        pair_list = list(pairs)
+        src = np.array([p[0] for p in pair_list], dtype=np.int32)
+        dst = np.array([p[1] for p in pair_list], dtype=np.int32)
+        return cls(src, dst, TraceMetadata(name=name, n_nodes=n_nodes, seed=seed,
+                                           params=dict(params or {})))
+
+    @classmethod
+    def from_requests(cls, requests: Iterable[Request], n_nodes: int, name: str = "custom") -> "Trace":
+        """Build a trace from :class:`~repro.types.Request` objects."""
+        return cls.from_pairs(((r.src, r.dst) for r in requests), n_nodes, name=name)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """Workload name from the metadata."""
+        return self.metadata.name
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of racks addressed by the trace."""
+        return self.metadata.n_nodes
+
+    @property
+    def sources(self) -> np.ndarray:
+        """Source rack ids (read-only view)."""
+        return self._src
+
+    @property
+    def destinations(self) -> np.ndarray:
+        """Destination rack ids (read-only view)."""
+        return self._dst
+
+    def __len__(self) -> int:
+        return int(self._src.size)
+
+    def __iter__(self) -> Iterator[Request]:
+        return self.requests()
+
+    def __getitem__(self, index: int | slice) -> "Request | Trace":
+        if isinstance(index, slice):
+            meta = TraceMetadata(
+                name=self.metadata.name,
+                n_nodes=self.metadata.n_nodes,
+                seed=self.metadata.seed,
+                params=dict(self.metadata.params),
+            )
+            return Trace(self._src[index], self._dst[index], meta)
+        return Request(int(self._src[index]), int(self._dst[index]), timestamp=float(index))
+
+    def requests(self) -> Iterator[Request]:
+        """Yield the trace as :class:`~repro.types.Request` objects in order."""
+        for i in range(len(self)):
+            yield Request(int(self._src[i]), int(self._dst[i]), timestamp=float(i))
+
+    def pairs(self) -> Iterator[NodePair]:
+        """Yield the canonical node pair of every request in order."""
+        for i in range(len(self)):
+            yield canonical_pair(int(self._src[i]), int(self._dst[i]))
+
+    def pair_counts(self) -> dict[NodePair, int]:
+        """Number of requests per canonical pair (used by SO-BMA and analysis)."""
+        lo = np.minimum(self._src, self._dst).astype(np.int64)
+        hi = np.maximum(self._src, self._dst).astype(np.int64)
+        keys = lo * self.n_nodes + hi
+        unique, counts = np.unique(keys, return_counts=True)
+        return {
+            (int(k // self.n_nodes), int(k % self.n_nodes)): int(c)
+            for k, c in zip(unique, counts)
+        }
+
+    def prefix(self, n_requests: int) -> "Trace":
+        """The first ``n_requests`` requests as a new trace."""
+        if n_requests < 0:
+            raise TrafficError(f"prefix length must be non-negative, got {n_requests}")
+        return self[: n_requests]  # type: ignore[return-value]
+
+    def concatenate(self, other: "Trace") -> "Trace":
+        """Concatenate two traces over the same rack set."""
+        if other.n_nodes != self.n_nodes:
+            raise TrafficError(
+                f"cannot concatenate traces over different rack counts "
+                f"({self.n_nodes} vs {other.n_nodes})"
+            )
+        meta = TraceMetadata(
+            name=f"{self.name}+{other.name}",
+            n_nodes=self.n_nodes,
+            seed=self.metadata.seed,
+            params={"left": dict(self.metadata.params), "right": dict(other.metadata.params)},
+        )
+        return Trace(
+            np.concatenate([self._src, other._src]),
+            np.concatenate([self._dst, other._dst]),
+            meta,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Trace {self.name!r} requests={len(self)} nodes={self.n_nodes}>"

@@ -1,0 +1,116 @@
+"""Trace serialisation.
+
+Traces can be saved to and loaded from CSV (``src,dst`` per line, with a
+commented header carrying metadata) and JSONL (one JSON object per request
+plus a metadata header line).  This lets expensive generated workloads be
+reused across benchmark runs and lets users plug in their own datacenter
+traces.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..errors import TrafficError
+from .base import Trace, TraceMetadata
+
+__all__ = ["save_trace_csv", "load_trace_csv", "save_trace_jsonl", "load_trace_jsonl"]
+
+PathLike = Union[str, Path]
+
+
+def save_trace_csv(trace: Trace, path: PathLike) -> None:
+    """Write a trace as CSV with a ``#``-prefixed JSON metadata header."""
+    path = Path(path)
+    header = {
+        "name": trace.metadata.name,
+        "n_nodes": trace.metadata.n_nodes,
+        "seed": trace.metadata.seed,
+        "params": dict(trace.metadata.params),
+    }
+    with path.open("w", newline="") as fh:
+        fh.write("# " + json.dumps(header) + "\n")
+        writer = csv.writer(fh)
+        writer.writerow(["src", "dst"])
+        for s, d in zip(trace.sources.tolist(), trace.destinations.tolist()):
+            writer.writerow([s, d])
+
+
+def load_trace_csv(path: PathLike) -> Trace:
+    """Load a trace written by :func:`save_trace_csv`."""
+    path = Path(path)
+    if not path.exists():
+        raise TrafficError(f"trace file {path} does not exist")
+    with path.open("r", newline="") as fh:
+        first = fh.readline()
+        if not first.startswith("#"):
+            raise TrafficError(f"{path} is missing the metadata header line")
+        header = json.loads(first[1:].strip())
+        reader = csv.reader(fh)
+        column_row = next(reader, None)
+        if column_row != ["src", "dst"]:
+            raise TrafficError(f"{path} has unexpected column header {column_row}")
+        src: list[int] = []
+        dst: list[int] = []
+        for row in reader:
+            if not row:
+                continue
+            src.append(int(row[0]))
+            dst.append(int(row[1]))
+    meta = TraceMetadata(
+        name=header["name"],
+        n_nodes=int(header["n_nodes"]),
+        seed=header.get("seed"),
+        params=header.get("params", {}),
+    )
+    return Trace(np.array(src, dtype=np.int32), np.array(dst, dtype=np.int32), meta)
+
+
+def save_trace_jsonl(trace: Trace, path: PathLike) -> None:
+    """Write a trace as JSONL: a metadata object followed by one object per request."""
+    path = Path(path)
+    with path.open("w") as fh:
+        fh.write(json.dumps({
+            "type": "metadata",
+            "name": trace.metadata.name,
+            "n_nodes": trace.metadata.n_nodes,
+            "seed": trace.metadata.seed,
+            "params": dict(trace.metadata.params),
+        }) + "\n")
+        for i, (s, d) in enumerate(zip(trace.sources.tolist(), trace.destinations.tolist())):
+            fh.write(json.dumps({"i": i, "src": s, "dst": d}) + "\n")
+
+
+def load_trace_jsonl(path: PathLike) -> Trace:
+    """Load a trace written by :func:`save_trace_jsonl`."""
+    path = Path(path)
+    if not path.exists():
+        raise TrafficError(f"trace file {path} does not exist")
+    src: list[int] = []
+    dst: list[int] = []
+    meta_obj: dict | None = None
+    with path.open("r") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            if obj.get("type") == "metadata":
+                meta_obj = obj
+            else:
+                src.append(int(obj["src"]))
+                dst.append(int(obj["dst"]))
+    if meta_obj is None:
+        raise TrafficError(f"{path} is missing the metadata line")
+    meta = TraceMetadata(
+        name=meta_obj["name"],
+        n_nodes=int(meta_obj["n_nodes"]),
+        seed=meta_obj.get("seed"),
+        params=meta_obj.get("params", {}),
+    )
+    return Trace(np.array(src, dtype=np.int32), np.array(dst, dtype=np.int32), meta)

@@ -1,0 +1,62 @@
+"""Name-based registry of workload generators.
+
+The benchmark harness and the sweep runner describe workloads by name
+(``"facebook-database"``, ``"microsoft"``, ...), so a single declarative
+configuration can drive all of the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from ..errors import ConfigurationError
+from .base import Trace
+from .facebook import database_trace, hadoop_trace, web_service_trace
+from .microsoft import microsoft_trace
+from .synthetic import hotspot_trace, permutation_trace, uniform_random_trace, zipf_pair_trace
+
+__all__ = ["available_workloads", "make_workload", "register_workload"]
+
+WorkloadFactory = Callable[..., Trace]
+
+_REGISTRY: Dict[str, WorkloadFactory] = {}
+
+
+def register_workload(name: str, factory: WorkloadFactory) -> None:
+    """Register a workload generator under ``name`` (lower-cased)."""
+    key = name.lower()
+    if key in _REGISTRY:
+        raise ConfigurationError(f"workload {name!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def available_workloads() -> list[str]:
+    """Names of the registered workloads, sorted."""
+    return sorted(_REGISTRY)
+
+
+def make_workload(name: str, **kwargs: Any) -> Trace:
+    """Generate a workload by registered name.
+
+    Examples
+    --------
+    >>> trace = make_workload("uniform", n_nodes=8, n_requests=100, seed=0)
+    >>> len(trace)
+    100
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; available: {', '.join(available_workloads())}"
+        )
+    return _REGISTRY[key](**kwargs)
+
+
+register_workload("uniform", uniform_random_trace)
+register_workload("zipf", zipf_pair_trace)
+register_workload("hotspot", hotspot_trace)
+register_workload("permutation", permutation_trace)
+register_workload("facebook-database", database_trace)
+register_workload("facebook-web", web_service_trace)
+register_workload("facebook-hadoop", hadoop_trace)
+register_workload("microsoft", microsoft_trace)

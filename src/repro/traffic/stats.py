@@ -1,0 +1,129 @@
+"""Trace structure statistics.
+
+Quantifies the two properties the paper argues drive algorithm behaviour:
+*spatial skew* (a few rack pairs carry most traffic) and *temporal locality*
+(requests to the same pair arrive close together).  The statistics follow the
+"trace complexity" methodology of Avin et al. (SIGMETRICS 2020) in spirit:
+entropy-based skew measures plus a re-reference measure for burstiness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..errors import TrafficError
+from ..types import NodePair
+from .base import Trace
+
+__all__ = ["TraceStatistics", "compute_trace_statistics"]
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Summary statistics of a trace.
+
+    Attributes
+    ----------
+    n_requests, n_nodes:
+        Trace dimensions.
+    n_distinct_pairs:
+        Number of distinct rack pairs that appear at all.
+    top1pct_share, top10pct_share:
+        Fraction of requests carried by the heaviest 1 % / 10 % of the
+        *appearing* pairs — the spatial-skew summaries.
+    pair_entropy_bits, normalized_entropy:
+        Shannon entropy of the empirical pair distribution and its ratio to
+        the maximum possible entropy over the appearing pairs (1 = uniform,
+        close to 0 = extremely skewed).
+    rereference_rate:
+        Fraction of requests whose pair already occurred within the previous
+        ``window`` requests — the temporal-locality summary (i.i.d. traces
+        score close to the skew-induced baseline, bursty traces score high).
+    mean_rereference_distance:
+        Average gap (in requests) to the previous occurrence of the same
+        pair, over requests whose pair occurred before.
+    """
+
+    n_requests: int
+    n_nodes: int
+    n_distinct_pairs: int
+    top1pct_share: float
+    top10pct_share: float
+    pair_entropy_bits: float
+    normalized_entropy: float
+    rereference_rate: float
+    mean_rereference_distance: float
+
+    def to_dict(self) -> Dict[str, float]:
+        """Plain-dict form for serialisation and reports."""
+        return {
+            "n_requests": self.n_requests,
+            "n_nodes": self.n_nodes,
+            "n_distinct_pairs": self.n_distinct_pairs,
+            "top1pct_share": self.top1pct_share,
+            "top10pct_share": self.top10pct_share,
+            "pair_entropy_bits": self.pair_entropy_bits,
+            "normalized_entropy": self.normalized_entropy,
+            "rereference_rate": self.rereference_rate,
+            "mean_rereference_distance": self.mean_rereference_distance,
+        }
+
+
+def _share_of_top(counts: np.ndarray, fraction: float) -> float:
+    k = max(1, int(round(fraction * counts.size)))
+    top = np.sort(counts)[::-1][:k]
+    return float(top.sum() / counts.sum())
+
+
+def compute_trace_statistics(trace: Trace, window: int = 64) -> TraceStatistics:
+    """Compute :class:`TraceStatistics` for a trace.
+
+    Parameters
+    ----------
+    trace:
+        The trace to analyse.
+    window:
+        Look-back window (in requests) for the re-reference rate.
+    """
+    if len(trace) == 0:
+        raise TrafficError("cannot compute statistics of an empty trace")
+    if window < 1:
+        raise TrafficError(f"window must be >= 1, got {window}")
+
+    n = trace.n_nodes
+    lo = np.minimum(trace.sources, trace.destinations).astype(np.int64)
+    hi = np.maximum(trace.sources, trace.destinations).astype(np.int64)
+    keys = lo * n + hi
+
+    unique, counts = np.unique(keys, return_counts=True)
+    probs = counts / counts.sum()
+    entropy = float(-(probs * np.log2(probs)).sum())
+    max_entropy = float(np.log2(len(unique))) if len(unique) > 1 else 1.0
+
+    # Temporal locality: distance to the previous occurrence of each pair.
+    last_seen: Dict[int, int] = {}
+    distances = np.full(len(keys), -1, dtype=np.int64)
+    for i, key in enumerate(keys):
+        prev = last_seen.get(int(key))
+        if prev is not None:
+            distances[i] = i - prev
+        last_seen[int(key)] = i
+    seen_before = distances >= 0
+    within_window = (distances >= 1) & (distances <= window)
+
+    return TraceStatistics(
+        n_requests=len(trace),
+        n_nodes=n,
+        n_distinct_pairs=int(len(unique)),
+        top1pct_share=_share_of_top(counts, 0.01),
+        top10pct_share=_share_of_top(counts, 0.10),
+        pair_entropy_bits=entropy,
+        normalized_entropy=entropy / max_entropy if max_entropy > 0 else 1.0,
+        rereference_rate=float(within_window.sum() / len(keys)),
+        mean_rereference_distance=(
+            float(distances[seen_before].mean()) if seen_before.any() else float("inf")
+        ),
+    )

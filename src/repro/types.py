@@ -1,0 +1,121 @@
+"""Shared primitive types used across the :mod:`repro` package.
+
+The whole library describes traffic between *racks* (top-of-rack switches)
+identified by small non-negative integers.  A communication request is an
+unordered pair of distinct racks; we canonicalise every pair to
+``(min, max)`` so that dictionaries and sets behave consistently regardless
+of the direction a request was generated in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple
+
+__all__ = [
+    "NodeId",
+    "NodePair",
+    "Request",
+    "canonical_pair",
+    "pair_index",
+    "pairs_of",
+    "all_pairs",
+]
+
+#: A rack / top-of-rack switch identifier.
+NodeId = int
+
+#: A canonical (sorted) unordered pair of distinct racks.
+NodePair = Tuple[int, int]
+
+
+def canonical_pair(u: int, v: int) -> NodePair:
+    """Return the canonical representation of the unordered pair ``{u, v}``.
+
+    Parameters
+    ----------
+    u, v:
+        Distinct rack identifiers.
+
+    Raises
+    ------
+    ValueError
+        If ``u == v`` — self-loops carry no traffic in the model and are
+        rejected early to surface generator bugs.
+    """
+    if u == v:
+        raise ValueError(f"a node pair must consist of two distinct nodes, got ({u}, {v})")
+    return (u, v) if u < v else (v, u)
+
+
+def pair_index(u: int, v: int, n: int) -> int:
+    """Map the unordered pair ``{u, v}`` to a unique index in ``[0, n*(n-1)/2)``.
+
+    The mapping enumerates pairs in lexicographic order of their canonical
+    form and is used to address dense per-pair numpy arrays (request
+    counters, weights) without hashing overhead.
+    """
+    a, b = canonical_pair(u, v)
+    if b >= n:
+        raise ValueError(f"node {b} out of range for n={n}")
+    # Pairs (a, *) occupy a block of size (n - 1 - a); blocks for all a' < a
+    # together have size a*n - a*(a+1)/2.
+    return a * n - a * (a + 1) // 2 + (b - a - 1)
+
+
+def pairs_of(node: int, n: int) -> Iterator[NodePair]:
+    """Yield every canonical pair that has ``node`` as an endpoint."""
+    for other in range(n):
+        if other != node:
+            yield canonical_pair(node, other)
+
+
+def all_pairs(n: int) -> Iterator[NodePair]:
+    """Yield every canonical pair over ``n`` nodes in lexicographic order."""
+    for u in range(n):
+        for v in range(u + 1, n):
+            yield (u, v)
+
+
+@dataclass(frozen=True, slots=True)
+class Request:
+    """A single communication request between two racks.
+
+    Attributes
+    ----------
+    src, dst:
+        Rack identifiers.  The pair is *unordered* for matching purposes;
+        use :meth:`pair` for the canonical form.
+    size:
+        Abstract demand size (defaults to 1).  The paper's model treats a
+        request as a unit of transferred traffic; generators may use larger
+        sizes which the simulation engine expands or weights.
+    timestamp:
+        Optional logical arrival time, carried through from trace
+        generators for analysis purposes; the algorithms themselves only
+        look at arrival *order*.
+    """
+
+    src: int
+    dst: int
+    size: float = 1.0
+    timestamp: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError(f"request endpoints must differ, got {self.src}")
+        if self.size <= 0:
+            raise ValueError(f"request size must be positive, got {self.size}")
+
+    def pair(self) -> NodePair:
+        """Canonical unordered node pair of this request."""
+        return canonical_pair(self.src, self.dst)
+
+    def reversed(self) -> "Request":
+        """The same request with endpoints swapped (identical pair)."""
+        return Request(self.dst, self.src, self.size, self.timestamp)
+
+
+def as_requests(pairs: Iterable[Tuple[int, int]]) -> list[Request]:
+    """Convert an iterable of ``(src, dst)`` tuples into :class:`Request` objects."""
+    return [Request(int(s), int(t)) for s, t in pairs]

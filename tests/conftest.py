@@ -1,0 +1,75 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+# Allow running the tests from a source checkout without installation.
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if _SRC.exists() and str(_SRC) not in sys.path:
+    try:  # pragma: no cover - only matters in uninstalled environments
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, str(_SRC))
+
+from repro.config import MatchingConfig, SimulationConfig
+from repro.topology import FatTreeTopology, LeafSpineTopology, StarTopology
+from repro.traffic import database_trace, uniform_random_trace, zipf_pair_trace
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_leafspine() -> LeafSpineTopology:
+    """8-rack leaf-spine topology: all pair distances equal 2."""
+    return LeafSpineTopology(n_racks=8, n_spines=2)
+
+
+@pytest.fixture
+def small_fattree() -> FatTreeTopology:
+    """Fat-tree hosting 16 racks (k=8): distances 2 within a pod, 4 across."""
+    return FatTreeTopology(n_racks=16)
+
+
+@pytest.fixture
+def star_lb_topology() -> StarTopology:
+    """Star with the hub as rack 0, used by lower-bound constructions."""
+    return StarTopology(n_racks=6, hub_is_rack=True)
+
+
+@pytest.fixture
+def small_config() -> MatchingConfig:
+    """b = 3, alpha = 4 — small enough that reconfiguration happens quickly."""
+    return MatchingConfig(b=3, alpha=4)
+
+
+@pytest.fixture
+def sim_config() -> SimulationConfig:
+    """10 checkpoints, fixed seed."""
+    return SimulationConfig(checkpoints=10, seed=7)
+
+
+@pytest.fixture
+def small_trace() -> "object":
+    """A small skewed trace over 8 racks."""
+    return zipf_pair_trace(n_nodes=8, n_requests=400, exponent=1.3, seed=3)
+
+
+@pytest.fixture
+def uniform_trace():
+    """A small uniform trace over 8 racks."""
+    return uniform_random_trace(n_nodes=8, n_requests=300, seed=5)
+
+
+@pytest.fixture
+def fb_like_trace():
+    """A scaled-down Facebook-database-like trace over 16 racks."""
+    return database_trace(n_nodes=16, n_requests=2_000, seed=11)

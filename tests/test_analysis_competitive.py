@@ -1,0 +1,115 @@
+"""Tests for the empirical competitive-ratio harness and adversarial traces."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    adversarial_paging_trace,
+    empirical_competitive_ratio,
+    round_robin_adversary_trace,
+)
+from repro.config import MatchingConfig
+from repro.core import BMA, RBMA, ObliviousRouting
+from repro.errors import TrafficError
+from repro.topology import LeafSpineTopology, StarTopology
+from repro.types import as_requests
+
+
+class TestEmpiricalCompetitiveRatio:
+    def test_ratio_at_least_one_for_online(self):
+        topo = LeafSpineTopology(n_racks=4)
+        config = MatchingConfig(b=1, alpha=3)
+        requests = as_requests([(0, 1), (0, 2), (0, 1), (0, 2), (2, 3), (0, 1)] * 3)
+        report = empirical_competitive_ratio(
+            lambda: RBMA(topo, config, rng=1), requests, topo, config, trials=3
+        )
+        assert report.offline_cost > 0
+        assert report.ratio >= 1.0 - 1e-9
+        assert report.trials == 3
+
+    def test_ratio_below_theoretical_bound_on_small_instances(self):
+        topo = LeafSpineTopology(n_racks=4)
+        config = MatchingConfig(b=2, alpha=2)
+        rng = np.random.default_rng(0)
+        pairs = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+        requests = as_requests([pairs[i] for i in rng.integers(0, 6, size=40)])
+        report = empirical_competitive_ratio(
+            lambda: RBMA(topo, config, rng=2), requests, topo, config, trials=5
+        )
+        assert report.ratio <= report.theoretical_bound
+
+    def test_deterministic_algorithm_single_trial(self):
+        topo = LeafSpineTopology(n_racks=4)
+        config = MatchingConfig(b=1, alpha=2)
+        requests = as_requests([(0, 1)] * 10)
+        report = empirical_competitive_ratio(
+            lambda: BMA(topo, config), requests, topo, config, trials=1
+        )
+        assert report.online_cost >= report.offline_cost
+
+    def test_oblivious_has_larger_ratio_on_repeated_pair(self):
+        topo = LeafSpineTopology(n_racks=4)
+        config = MatchingConfig(b=1, alpha=2)
+        requests = as_requests([(0, 1)] * 30)
+        oblivious = empirical_competitive_ratio(
+            lambda: ObliviousRouting(topo, config), requests, topo, config, trials=1
+        )
+        rbma = empirical_competitive_ratio(
+            lambda: RBMA(topo, config, rng=0), requests, topo, config, trials=1
+        )
+        assert oblivious.ratio > rbma.ratio
+
+    def test_resource_augmented_offline(self):
+        """With a < b the offline optimum is weaker, so the ratio can only drop."""
+        topo = LeafSpineTopology(n_racks=6)
+        config_full = MatchingConfig(b=2, alpha=2)
+        config_aug = MatchingConfig(b=2, alpha=2, a=1)
+        requests = as_requests([(0, 1), (0, 2), (0, 1), (0, 2)] * 5)
+        full = empirical_competitive_ratio(
+            lambda: RBMA(topo, config_full, rng=3), requests, topo, config_full, trials=3
+        )
+        augmented = empirical_competitive_ratio(
+            lambda: RBMA(topo, config_aug, rng=3), requests, topo, config_aug, trials=3
+        )
+        assert augmented.offline_cost >= full.offline_cost
+        assert augmented.ratio <= full.ratio + 1e-9
+
+
+class TestAdversarialTraces:
+    def test_random_adversary_shape(self):
+        trace = adversarial_paging_trace(b=3, n_blocks=20, alpha=4, seed=0)
+        assert trace.n_nodes == 5  # hub + b + 1 leaves
+        assert len(trace) == 20 * 4
+        assert set(trace.sources.tolist()) == {0}
+
+    def test_round_robin_cycles_leaves(self):
+        trace = round_robin_adversary_trace(b=2, n_blocks=6, block_length=1)
+        assert trace.destinations.tolist() == [1, 2, 3, 1, 2, 3]
+
+    def test_block_length_defaults_to_alpha(self):
+        trace = adversarial_paging_trace(b=2, n_blocks=5, alpha=3.0, seed=1)
+        assert len(trace) == 15
+
+    def test_validation(self):
+        with pytest.raises(TrafficError):
+            adversarial_paging_trace(b=0, n_blocks=5)
+        with pytest.raises(TrafficError):
+            round_robin_adversary_trace(b=2, n_blocks=0)
+
+    def test_adversary_hurts_deterministic_more_than_randomized(self):
+        """On the star lower-bound instance, BMA (deterministic, Θ(b)) should
+        not beat R-BMA by much; the randomized algorithm keeps up despite the
+        adversarial pressure.  (A smoke test of the qualitative separation,
+        not a tight bound.)"""
+        b = 3
+        topo = StarTopology(n_racks=b + 1, hub_is_rack=True)
+        config = MatchingConfig(b=b, alpha=4)
+        trace = round_robin_adversary_trace(b=b, n_blocks=120, alpha=4)
+        rbma_costs = []
+        for seed in range(3):
+            algo = RBMA(topo, config, rng=seed)
+            algo.serve_all(list(trace.requests()))
+            rbma_costs.append(algo.total_cost)
+        bma = BMA(topo, config)
+        bma.serve_all(list(trace.requests()))
+        assert np.mean(rbma_costs) <= bma.total_cost * 1.5

@@ -1,0 +1,92 @@
+"""Tests for the exact offline dynamic-matching optimum."""
+
+import pytest
+
+from repro.analysis import optimal_dynamic_matching_cost
+from repro.analysis.offline_opt import enumerate_feasible_matchings
+from repro.config import MatchingConfig
+from repro.core import BMA, RBMA, ObliviousRouting
+from repro.errors import SolverError
+from repro.topology import LeafSpineTopology, StarTopology
+from repro.types import Request, as_requests
+
+
+@pytest.fixture
+def tiny_topology():
+    return LeafSpineTopology(n_racks=4)  # all distances 2
+
+
+class TestEnumeration:
+    def test_counts_b1(self):
+        # Pairs (0,1),(2,3),(0,2): valid 1-matchings: {}, each singleton, {(0,1),(2,3)}.
+        states = enumerate_feasible_matchings([(0, 1), (2, 3), (0, 2)], 4, b=1)
+        assert len(states) == 5
+
+    def test_counts_b2(self):
+        states = enumerate_feasible_matchings([(0, 1), (2, 3), (0, 2)], 4, b=2)
+        assert len(states) == 8  # every subset is feasible with b=2
+
+
+class TestOptimalCost:
+    def test_no_requests(self, tiny_topology):
+        assert optimal_dynamic_matching_cost([], tiny_topology, b=1, alpha=2) == 0.0
+
+    def test_single_request_cheaper_to_route(self, tiny_topology):
+        # One request of length 2 vs paying alpha=5 to reconfigure: route it.
+        cost = optimal_dynamic_matching_cost([Request(0, 1)], tiny_topology, b=1, alpha=5)
+        assert cost == pytest.approx(2.0)
+
+    def test_repeated_requests_justify_matching(self, tiny_topology):
+        # 10 requests to the same pair: install the edge once (alpha=4) and
+        # serve each at cost 1 -> 14, versus 20 for routing everything.
+        requests = as_requests([(0, 1)] * 10)
+        cost = optimal_dynamic_matching_cost(requests, tiny_topology, b=1, alpha=4)
+        assert cost == pytest.approx(4 + 10)
+
+    def test_break_even_never_exceeds_routing_everything(self, tiny_topology):
+        requests = as_requests([(0, 1), (2, 3), (0, 2), (1, 3)] * 3)
+        cost = optimal_dynamic_matching_cost(requests, tiny_topology, b=1, alpha=3)
+        oblivious_cost = 2.0 * len(requests)
+        assert cost <= oblivious_cost
+
+    def test_degree_bound_limits_benefit(self, tiny_topology):
+        # Two hot pairs sharing node 0 cannot both be matched with b=1.
+        requests = as_requests([(0, 1), (0, 2)] * 8)
+        cost_b1 = optimal_dynamic_matching_cost(requests, tiny_topology, b=1, alpha=2)
+        cost_b2 = optimal_dynamic_matching_cost(requests, tiny_topology, b=2, alpha=2)
+        assert cost_b2 < cost_b1
+
+    def test_monotone_in_alpha(self, tiny_topology):
+        requests = as_requests([(0, 1)] * 6 + [(2, 3)] * 6)
+        costs = [
+            optimal_dynamic_matching_cost(requests, tiny_topology, b=1, alpha=a)
+            for a in (1, 2, 4, 8)
+        ]
+        assert costs == sorted(costs)
+
+    def test_lower_bounds_online_algorithms(self, tiny_topology):
+        """Opt is never more expensive than any online algorithm (same b)."""
+        requests = as_requests([(0, 1), (0, 2), (0, 1), (2, 3), (0, 1), (0, 2)] * 4)
+        config = MatchingConfig(b=1, alpha=3)
+        opt = optimal_dynamic_matching_cost(requests, tiny_topology, b=1, alpha=3)
+        for algo in (
+            RBMA(tiny_topology, config, rng=0),
+            BMA(tiny_topology, config),
+            ObliviousRouting(tiny_topology, config),
+        ):
+            algo.serve_all(requests)
+            assert algo.total_cost >= opt - 1e-9
+
+    def test_candidate_pair_guard(self, tiny_topology):
+        requests = as_requests([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+        with pytest.raises(SolverError):
+            optimal_dynamic_matching_cost(
+                requests, tiny_topology, b=1, alpha=1, max_candidate_pairs=3
+            )
+
+    def test_star_lower_bound_distances(self):
+        topo = StarTopology(n_racks=4, hub_is_rack=True)
+        requests = as_requests([(0, 1)] * 5)
+        # Hub-leaf distance is 1, so matching never helps: optimum just routes.
+        cost = optimal_dynamic_matching_cost(requests, topo, b=1, alpha=2)
+        assert cost == pytest.approx(5.0)

@@ -1,0 +1,80 @@
+"""Tests for the ASCII plotting utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_line_chart, plot_results
+from repro.errors import SimulationError
+from repro.simulation import CheckpointSeries, RunResult, aggregate_runs
+
+
+def _aggregate(algorithm, values):
+    n = len(values)
+    series = CheckpointSeries(
+        requests=np.arange(1, n + 1, dtype=np.int64) * 10,
+        routing_cost=np.asarray(values, dtype=float),
+        reconfiguration_cost=np.zeros(n),
+        elapsed_seconds=np.linspace(0.01, 0.2, n),
+        matched_fraction=np.linspace(0, 1, n),
+    )
+    return aggregate_runs([
+        RunResult(algorithm=algorithm, workload="w", topology="t", b=2, alpha=1.0,
+                  n_requests=n * 10, seed=0, series=series,
+                  total_routing_cost=float(values[-1]), total_reconfiguration_cost=0.0,
+                  total_elapsed_seconds=0.2, matched_fraction=1.0)
+    ])
+
+
+class TestAsciiLineChart:
+    def test_contains_title_legend_and_axes(self):
+        chart = ascii_line_chart([0, 1, 2, 3], {"a": [0, 1, 2, 3], "b": [3, 2, 1, 0]},
+                                 title="demo", y_label="cost")
+        assert "demo" in chart
+        assert "legend:" in chart
+        assert "o a" in chart and "x b" in chart
+        assert "y: cost" in chart
+
+    def test_dimensions(self):
+        chart = ascii_line_chart([0, 1], {"a": [0, 1]}, width=40, height=10)
+        plot_lines = [line for line in chart.splitlines() if "|" in line]
+        assert len(plot_lines) == 10
+        assert all(len(line) <= 12 + 40 for line in plot_lines)
+
+    def test_monotone_series_marks_corners(self):
+        chart = ascii_line_chart([0, 1, 2], {"up": [0.0, 5.0, 10.0]}, width=30, height=8)
+        rows = [line.split("|", 1)[1] for line in chart.splitlines() if "|" in line]
+        # The marker must appear in the top row (right end) and bottom row (left end).
+        assert "o" in rows[0]
+        assert "o" in rows[-1]
+        assert rows[0].rindex("o") > rows[-1].index("o")
+
+    def test_constant_series_handled(self):
+        chart = ascii_line_chart([0, 1, 2], {"flat": [5.0, 5.0, 5.0]})
+        assert "o" in chart
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            ascii_line_chart([0, 1], {})
+        with pytest.raises(SimulationError):
+            ascii_line_chart([0], {"a": [1]})
+        with pytest.raises(SimulationError):
+            ascii_line_chart([0, 1], {"a": [1, 2, 3]})
+        with pytest.raises(SimulationError):
+            ascii_line_chart([0, 1], {"a": [1, 2]}, width=4, height=2)
+
+
+class TestPlotResults:
+    def test_plots_metric(self):
+        results = {
+            "rbma": _aggregate("rbma", [1, 2, 3, 4]),
+            "oblivious": _aggregate("oblivious", [2, 4, 6, 8]),
+        }
+        chart = plot_results(results, metric="routing_cost", title="fig")
+        assert "fig" in chart and "rbma" in chart and "oblivious" in chart
+
+    def test_rejects_empty_and_mismatched(self):
+        with pytest.raises(SimulationError):
+            plot_results({})
+        results = {"a": _aggregate("a", [1, 2, 3]), "b": _aggregate("b", [1, 2])}
+        with pytest.raises(SimulationError):
+            plot_results(results)

@@ -1,0 +1,74 @@
+"""Tests for the Markdown report generator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import markdown_report, write_markdown_report
+from repro.errors import SimulationError
+from repro.simulation import CheckpointSeries, RunResult, aggregate_runs
+
+
+def _aggregate(algorithm, b, values):
+    n = len(values)
+    series = CheckpointSeries(
+        requests=np.arange(1, n + 1, dtype=np.int64) * 100,
+        routing_cost=np.asarray(values, dtype=float),
+        reconfiguration_cost=np.zeros(n),
+        elapsed_seconds=np.linspace(0.05, 0.4, n),
+        matched_fraction=np.linspace(0, 0.7, n),
+    )
+    return aggregate_runs([
+        RunResult(algorithm=algorithm, workload="facebook-database", topology="fat-tree",
+                  b=b, alpha=15.0, n_requests=n * 100, seed=0, series=series,
+                  total_routing_cost=float(values[-1]), total_reconfiguration_cost=0.0,
+                  total_elapsed_seconds=0.4, matched_fraction=0.7)
+    ])
+
+
+@pytest.fixture
+def results():
+    return {
+        "rbma (b: 12)": _aggregate("rbma", 12, [100, 200, 300]),
+        "bma (b: 12)": _aggregate("bma", 12, [110, 220, 330]),
+        "oblivious (b: 12)": _aggregate("oblivious", 12, [200, 400, 600]),
+    }
+
+
+class TestMarkdownReport:
+    def test_contains_heading_table_and_chart(self, results):
+        report = markdown_report(results, title="Figure 1a", description="demo text")
+        assert report.startswith("## Figure 1a")
+        assert "demo text" in report
+        assert "| configuration |" in report
+        assert "rbma (b: 12)" in report
+        assert "```" in report  # chart block
+
+    def test_reduction_column_against_oblivious(self, results):
+        report = markdown_report(results, title="t")
+        assert "reduction vs oblivious" in report
+        assert "50.0%" in report  # rbma 300 vs oblivious 600
+
+    def test_no_oblivious_baseline(self, results):
+        del results["oblivious (b: 12)"]
+        report = markdown_report(results, title="t")
+        assert "reduction vs oblivious" not in report
+
+    def test_series_table_optional(self, results):
+        with_series = markdown_report(results, title="t", include_series=True)
+        without = markdown_report(results, title="t", include_series=False)
+        assert "Per-checkpoint routing cost" in with_series
+        assert "Per-checkpoint routing cost" not in without
+
+    def test_chart_optional(self, results):
+        report = markdown_report(results, title="t", include_chart=False)
+        assert "```" not in report
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            markdown_report({}, title="t")
+
+    def test_write_to_file(self, results, tmp_path):
+        path = write_markdown_report(results, tmp_path / "sub" / "report.md", title="Fig X")
+        text = path.read_text()
+        assert text.startswith("## Fig X")
+        assert path.parent.name == "sub"

@@ -1,0 +1,94 @@
+"""Tests for the plain-text result tables used by the benchmark harness."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    format_comparison_table,
+    format_series_table,
+    routing_cost_reduction,
+    series_rows,
+)
+from repro.errors import SimulationError
+from repro.simulation import CheckpointSeries, RunResult, aggregate_runs
+
+
+def _aggregate(algorithm, b, routing_values, elapsed=0.5):
+    n = len(routing_values)
+    series = CheckpointSeries(
+        requests=np.arange(1, n + 1, dtype=np.int64) * 100,
+        routing_cost=np.asarray(routing_values, dtype=float),
+        reconfiguration_cost=np.zeros(n),
+        elapsed_seconds=np.linspace(0.1, elapsed, n),
+        matched_fraction=np.linspace(0, 0.8, n),
+    )
+    run = RunResult(
+        algorithm=algorithm, workload="w", topology="t", b=b, alpha=4.0,
+        n_requests=n * 100, seed=0, series=series,
+        total_routing_cost=float(routing_values[-1]),
+        total_reconfiguration_cost=0.0,
+        total_elapsed_seconds=elapsed, matched_fraction=0.8,
+    )
+    return aggregate_runs([run])
+
+
+@pytest.fixture
+def results():
+    return {
+        "rbma (b: 6)": _aggregate("rbma", 6, [50, 100, 150]),
+        "bma (b: 6)": _aggregate("bma", 6, [55, 110, 160]),
+        "oblivious": _aggregate("oblivious", 6, [100, 200, 300]),
+    }
+
+
+class TestSeriesRows:
+    def test_rows_structure(self, results):
+        rows = series_rows(results, metric="routing_cost")
+        assert len(rows) == 3
+        assert rows[0] == [100.0, 50.0, 55.0, 100.0]
+        assert rows[-1][0] == 300.0
+
+    def test_metrics_selectable(self, results):
+        assert series_rows(results, metric="elapsed_seconds")[0][1] == pytest.approx(0.1)
+        assert series_rows(results, metric="matched_fraction")[-1][1] == pytest.approx(0.8)
+
+    def test_unknown_metric(self, results):
+        with pytest.raises(SimulationError):
+            series_rows(results, metric="nope")
+
+    def test_empty_results(self):
+        with pytest.raises(SimulationError):
+            series_rows({})
+
+    def test_mismatched_grids_rejected(self, results):
+        bad = dict(results)
+        bad["short"] = _aggregate("rbma", 6, [10])
+        with pytest.raises(SimulationError):
+            series_rows(bad)
+
+
+class TestFormatting:
+    def test_series_table_contains_labels_and_values(self, results):
+        table = format_series_table(results, title="Fig 1a")
+        assert "Fig 1a" in table
+        assert "rbma (b: 6)" in table
+        assert "# requests" in table
+        assert "300" in table
+
+    def test_comparison_table_reduction(self, results):
+        table = format_comparison_table(results, oblivious_label="oblivious")
+        assert "reduction vs oblivious" in table
+        assert "50.0%" in table  # rbma: 150 vs 300
+
+    def test_routing_cost_reduction(self, results):
+        red = routing_cost_reduction(results["rbma (b: 6)"], results["oblivious"])
+        assert red == pytest.approx(0.5)
+
+    def test_reduction_rejects_zero_baseline(self, results):
+        zero = _aggregate("oblivious", 6, [0.0, 0.0, 0.0])
+        with pytest.raises(SimulationError):
+            routing_cost_reduction(results["rbma (b: 6)"], zero)
+
+    def test_empty_comparison_rejected(self):
+        with pytest.raises(SimulationError):
+            format_comparison_table({})

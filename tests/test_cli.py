@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.algorithm == "rbma"
+        assert args.workload == "facebook-database"
+        assert args.b == 12
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "rbma" in out and "facebook-database" in out and "fat-tree" in out
+
+    def test_simulate_small(self, capsys):
+        code = main([
+            "simulate", "--workload", "zipf", "--nodes", "10", "--requests", "300",
+            "--b", "2", "--algorithm", "rbma", "--checkpoints", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "final routing cost" in out
+        assert "rbma" in out
+
+    def test_compare_with_plot(self, capsys):
+        code = main([
+            "compare", "--workload", "zipf", "--nodes", "10", "--requests", "300",
+            "--b", "2", "--algorithms", "rbma", "oblivious", "--checkpoints", "4", "--plot",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reduction vs oblivious" in out
+        assert "legend:" in out
+
+    def test_generate_and_analyze_trace(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.csv"
+        assert main([
+            "generate-trace", "--workload", "uniform", "--nodes", "8",
+            "--requests", "200", "--out", str(out_path),
+        ]) == 0
+        assert out_path.exists()
+        assert main(["analyze-trace", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "rereference_rate" in out
+
+    def test_analyze_missing_file_returns_error_code(self, tmp_path, capsys):
+        code = main(["analyze-trace", str(tmp_path / "missing.csv")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_algorithm_returns_error_code(self, capsys):
+        code = main([
+            "simulate", "--workload", "zipf", "--nodes", "8", "--requests", "100",
+            "--algorithm", "does-not-exist",
+        ])
+        assert code == 2

@@ -1,0 +1,85 @@
+"""Tests for the OnlineBMatchingAlgorithm base-class cost accounting."""
+
+import pytest
+
+from repro.config import MatchingConfig
+from repro.core import ObliviousRouting, RBMA
+from repro.errors import SimulationError
+from repro.types import Request
+
+
+class TestCostAccounting:
+    def test_unmatched_request_costs_path_length(self, small_leafspine):
+        algo = ObliviousRouting(small_leafspine, MatchingConfig(b=2, alpha=4))
+        outcome = algo.serve(Request(0, 5))
+        assert outcome.routing_cost == 2.0
+        assert outcome.reconfiguration_cost == 0.0
+        assert not outcome.served_by_matching
+
+    def test_matched_request_costs_one(self, small_leafspine):
+        algo = RBMA(small_leafspine, MatchingConfig(b=2, alpha=2), rng=0)
+        # alpha=2, l=2 -> k_e = 1, so the first request already installs the edge.
+        algo.serve(Request(0, 5))
+        outcome = algo.serve(Request(0, 5))
+        assert outcome.served_by_matching
+        assert outcome.routing_cost == 1.0
+
+    def test_request_size_scales_routing_cost(self, small_leafspine):
+        algo = ObliviousRouting(small_leafspine, MatchingConfig(b=2, alpha=4))
+        outcome = algo.serve(Request(0, 3, size=2.5))
+        assert outcome.routing_cost == pytest.approx(5.0)
+
+    def test_reconfiguration_cost_charged_per_change(self, small_leafspine):
+        config = MatchingConfig(b=2, alpha=2)
+        algo = RBMA(small_leafspine, config, rng=0)
+        outcome = algo.serve(Request(0, 5))
+        # One edge added -> alpha charged once.
+        assert outcome.edges_added == ((0, 5),)
+        assert outcome.reconfiguration_cost == pytest.approx(config.alpha)
+
+    def test_totals_accumulate(self, small_leafspine):
+        algo = ObliviousRouting(small_leafspine, MatchingConfig(b=2, alpha=4))
+        for _ in range(5):
+            algo.serve(Request(1, 2))
+        assert algo.requests_served == 5
+        assert algo.total_routing_cost == pytest.approx(10.0)
+        assert algo.total_cost == algo.total_routing_cost
+
+    def test_matched_fraction(self, small_leafspine):
+        algo = RBMA(small_leafspine, MatchingConfig(b=2, alpha=2), rng=0)
+        for _ in range(10):
+            algo.serve(Request(0, 1))
+        assert algo.matched_fraction == pytest.approx(0.9)
+
+    def test_matched_fraction_empty(self, small_leafspine):
+        algo = ObliviousRouting(small_leafspine, MatchingConfig(b=1, alpha=1))
+        assert algo.matched_fraction == 0.0
+
+    def test_serve_all_returns_cost_delta(self, small_leafspine, uniform_trace):
+        algo = ObliviousRouting(small_leafspine, MatchingConfig(b=2, alpha=4))
+        cost = algo.serve_all(list(uniform_trace.requests()))
+        assert cost == pytest.approx(algo.total_cost)
+        assert cost == pytest.approx(2.0 * len(uniform_trace))
+
+    def test_invalid_pair_rejected(self, small_leafspine):
+        algo = ObliviousRouting(small_leafspine, MatchingConfig(b=2, alpha=4))
+        with pytest.raises(Exception):
+            algo.serve(Request(0, 99))
+
+    def test_reset_clears_state(self, small_leafspine):
+        algo = RBMA(small_leafspine, MatchingConfig(b=2, alpha=2), rng=0)
+        algo.serve(Request(0, 1))
+        algo.reset()
+        assert algo.requests_served == 0
+        assert algo.total_cost == 0.0
+        assert len(algo.matching) == 0
+        # Serving again works after the reset.
+        algo.serve(Request(0, 1))
+        assert algo.requests_served == 1
+
+    def test_serve_outcome_total_cost(self, small_leafspine):
+        algo = RBMA(small_leafspine, MatchingConfig(b=2, alpha=2), rng=0)
+        outcome = algo.serve(Request(0, 5))
+        assert outcome.total_cost == pytest.approx(
+            outcome.routing_cost + outcome.reconfiguration_cost
+        )

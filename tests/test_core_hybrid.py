@@ -1,0 +1,84 @@
+"""Tests for the prediction-robust combiner (HybridBMA)."""
+
+import pytest
+
+from repro.config import MatchingConfig
+from repro.core import HybridBMA, ObliviousRouting, RBMA, make_algorithm
+from repro.errors import ConfigurationError
+from repro.matching.validation import check_b_matching
+from repro.traffic import hotspot_trace, zipf_pair_trace
+from repro.types import Request
+
+
+class TestHybridBMA:
+    def test_registered(self, small_leafspine):
+        algo = make_algorithm("hybrid", small_leafspine, MatchingConfig(b=2, alpha=4), rng=0)
+        assert isinstance(algo, HybridBMA)
+
+    def test_starts_following_robust_expert(self, small_leafspine):
+        algo = HybridBMA(small_leafspine, MatchingConfig(b=2, alpha=4), rng=0)
+        assert algo.following == "rbma"
+        assert algo.switches == 0
+
+    def test_matching_mirrors_followed_expert(self, small_leafspine):
+        algo = HybridBMA(small_leafspine, MatchingConfig(b=2, alpha=2), rng=0, period=50)
+        for i in range(100):
+            algo.serve(Request(i % 5, (i + 1) % 5))
+        followed = algo._robust if algo.following == "rbma" else algo._predictive
+        assert set(algo.matching.edges) == set(followed.matching.edges)
+
+    def test_degree_bound_maintained(self, small_fattree):
+        trace = zipf_pair_trace(n_nodes=16, n_requests=1500, exponent=1.3,
+                                repeat_probability=0.4, seed=2)
+        algo = HybridBMA(small_fattree, MatchingConfig(b=2, alpha=6), rng=1, period=100)
+        for request in trace.requests():
+            algo.serve(request)
+            check_b_matching(algo.matching.edges, small_fattree.n_racks, 2)
+
+    def test_cost_accounting_consistent(self, small_leafspine):
+        algo = HybridBMA(small_leafspine, MatchingConfig(b=2, alpha=4), rng=0)
+        routing = reconf = 0.0
+        for i in range(200):
+            outcome = algo.serve(Request(i % 6, (i + 3) % 6))
+            routing += outcome.routing_cost
+            reconf += outcome.reconfiguration_cost
+        assert algo.total_routing_cost == pytest.approx(routing)
+        assert algo.total_reconfiguration_cost == pytest.approx(reconf)
+        changes = algo.matching.additions + algo.matching.removals
+        assert reconf == pytest.approx(changes * 4)
+
+    def test_competitive_with_experts_on_skewed_traffic(self, small_fattree):
+        trace = hotspot_trace(n_nodes=16, n_requests=3000, n_hot_pairs=4,
+                              hot_fraction=0.9, seed=5)
+        config = MatchingConfig(b=2, alpha=8)
+        hybrid = HybridBMA(small_fattree, config, rng=0, period=200)
+        rbma = RBMA(small_fattree, config, rng=0)
+        oblivious = ObliviousRouting(small_fattree, config)
+        hybrid_cost = sum(hybrid.serve(r).total_cost for r in trace.requests())
+        rbma_cost = sum(rbma.serve(r).total_cost for r in trace.requests())
+        oblivious_cost = sum(oblivious.serve(r).total_cost for r in trace.requests())
+        # Robustness: never much worse than the safe expert, and clearly
+        # better than doing nothing.
+        assert hybrid_cost <= 3.0 * rbma_cost
+        assert hybrid_cost < oblivious_cost
+
+    def test_expert_costs_exposed(self, small_leafspine):
+        algo = HybridBMA(small_leafspine, MatchingConfig(b=2, alpha=4), rng=0)
+        for _ in range(20):
+            algo.serve(Request(0, 1))
+        robust_cost, predictive_cost = algo.expert_costs
+        assert robust_cost > 0 and predictive_cost > 0
+
+    def test_switch_factor_validation(self, small_leafspine):
+        with pytest.raises(ConfigurationError):
+            HybridBMA(small_leafspine, MatchingConfig(b=2, alpha=4), switch_factor=0.5)
+
+    def test_reset(self, small_leafspine):
+        algo = HybridBMA(small_leafspine, MatchingConfig(b=2, alpha=4), rng=0)
+        for _ in range(30):
+            algo.serve(Request(0, 1))
+        algo.reset()
+        assert algo.total_cost == 0.0
+        assert algo.switches == 0
+        assert algo.following == "rbma"
+        assert len(algo.matching) == 0

@@ -1,0 +1,136 @@
+"""Tests for R-BMA, the paper's randomized online algorithm."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import MatchingConfig
+from repro.core import RBMA, ObliviousRouting
+from repro.matching.validation import check_b_matching
+from repro.paging import RandomizedMarking
+from repro.traffic import zipf_pair_trace
+from repro.types import Request
+
+
+class TestTheorem1Filter:
+    def test_threshold_formula(self, small_fattree):
+        algo = RBMA(small_fattree, MatchingConfig(b=2, alpha=10), rng=0)
+        assert algo.threshold(2.0) == math.ceil(10 / 2)
+        assert algo.threshold(4.0) == math.ceil(10 / 4)
+        assert algo.threshold(1.0) == 10
+
+    def test_threshold_at_least_one(self, small_fattree):
+        algo = RBMA(small_fattree, MatchingConfig(b=2, alpha=1), rng=0)
+        assert algo.threshold(4.0) == 1
+
+    def test_no_reconfiguration_before_threshold(self, small_fattree):
+        # alpha=10 and same-pod distance 2 -> k_e = 5.
+        algo = RBMA(small_fattree, MatchingConfig(b=2, alpha=10), rng=0)
+        for i in range(4):
+            outcome = algo.serve(Request(0, 1))
+            assert outcome.edges_added == ()
+        assert algo.pending_count((0, 1)) == 4
+        outcome = algo.serve(Request(0, 1))  # 5th request is special
+        assert outcome.edges_added == ((0, 1),)
+        assert algo.pending_count((0, 1)) == 0
+
+    def test_counter_resets_after_special_request(self, small_fattree):
+        algo = RBMA(small_fattree, MatchingConfig(b=2, alpha=10), rng=0)
+        for _ in range(5):
+            algo.serve(Request(0, 1))
+        for _ in range(3):
+            algo.serve(Request(0, 1))
+        assert algo.pending_count((0, 1)) == 3
+
+    def test_shorter_pairs_need_more_requests(self, small_fattree):
+        algo = RBMA(small_fattree, MatchingConfig(b=4, alpha=12), rng=0)
+        near = small_fattree.validate_pair(0, 1)      # same pod, length 2
+        far = small_fattree.validate_pair(0, 15)      # cross pod, length 4
+        assert small_fattree.pair_length(near) == 2
+        assert small_fattree.pair_length(far) == 4
+        assert algo.threshold(2.0) > algo.threshold(4.0)
+
+
+class TestRBMABehaviour:
+    def test_degree_bound_maintained_under_load(self, small_fattree, fb_like_trace):
+        algo = RBMA(small_fattree, MatchingConfig(b=3, alpha=8), rng=1)
+        for request in fb_like_trace.requests():
+            algo.serve(request)
+            check_b_matching(algo.matching.edges, small_fattree.n_racks, 3)
+
+    def test_beats_oblivious_on_skewed_traffic(self, small_fattree):
+        trace = zipf_pair_trace(n_nodes=16, n_requests=3000, exponent=1.4,
+                                repeat_probability=0.5, seed=2)
+        config = MatchingConfig(b=4, alpha=8)
+        rbma = RBMA(small_fattree, config, rng=0)
+        oblivious = ObliviousRouting(small_fattree, config)
+        rbma_cost = sum(rbma.serve(r).routing_cost for r in trace.requests())
+        obl_cost = sum(oblivious.serve(r).routing_cost for r in trace.requests())
+        assert rbma_cost < 0.85 * obl_cost
+
+    def test_hot_pair_gets_matched_and_stays(self, small_fattree):
+        algo = RBMA(small_fattree, MatchingConfig(b=2, alpha=6), rng=0)
+        for _ in range(200):
+            algo.serve(Request(0, 9))
+        assert (0, 9) in algo.matching
+        assert algo.matched_fraction > 0.9
+
+    def test_reproducible_with_seed(self, small_fattree, fb_like_trace):
+        costs = []
+        for _ in range(2):
+            algo = RBMA(small_fattree, MatchingConfig(b=3, alpha=8), rng=123)
+            algo.serve_all(list(fb_like_trace.requests()))
+            costs.append(algo.total_cost)
+        assert costs[0] == costs[1]
+
+    def test_different_seeds_may_differ(self, small_fattree):
+        trace = zipf_pair_trace(n_nodes=16, n_requests=2000, exponent=1.2, seed=5)
+        totals = set()
+        for seed in range(4):
+            algo = RBMA(small_fattree, MatchingConfig(b=2, alpha=4), rng=seed)
+            algo.serve_all(list(trace.requests()))
+            totals.add(round(algo.total_cost, 6))
+        assert len(totals) > 1  # randomized algorithm actually randomizes
+
+    def test_paging_policy_ablation_runs(self, small_fattree, fb_like_trace):
+        for policy in ("lru", "fifo", "lfu", "random"):
+            algo = RBMA(small_fattree, MatchingConfig(b=2, alpha=8), rng=0,
+                        paging_policy=policy)
+            algo.serve_all(list(fb_like_trace.requests()))
+            check_b_matching(algo.matching.edges, small_fattree.n_racks, 2)
+
+    def test_explicit_paging_factory(self, small_fattree):
+        factory_calls = []
+
+        def factory(capacity, rng):
+            factory_calls.append(capacity)
+            return RandomizedMarking(capacity, rng=rng)
+
+        algo = RBMA(small_fattree, MatchingConfig(b=3, alpha=2), rng=0, paging_factory=factory)
+        algo.serve(Request(0, 1))
+        assert factory_calls == [3, 3]  # one pager per endpoint, capacity b
+
+    def test_reset_policy_state(self, small_fattree):
+        algo = RBMA(small_fattree, MatchingConfig(b=2, alpha=10), rng=0)
+        for _ in range(3):
+            algo.serve(Request(0, 1))
+        algo.reset()
+        assert algo.pending_count((0, 1)) == 0
+        assert algo.matcher.active_nodes == frozenset()
+
+    def test_theoretical_upper_bound_positive(self, small_fattree):
+        algo = RBMA(small_fattree, MatchingConfig(b=6, alpha=40), rng=0)
+        bound = algo.theoretical_upper_bound()
+        assert bound > 1.0
+
+    def test_marked_edges_still_serve_requests(self, small_fattree):
+        """Lazy removal (footnote 2): a marked edge keeps serving at cost 1."""
+        algo = RBMA(small_fattree, MatchingConfig(b=1, alpha=2), rng=0)
+        # Install (0, 1); then make node 0's cache evict it by loading (0, 2).
+        algo.serve(Request(0, 1))
+        algo.serve(Request(0, 2))
+        # If (0, 1) survived as a marked edge, a request to it still costs 1.
+        if (0, 1) in algo.matching:
+            outcome = algo.serve(Request(0, 1))
+            assert outcome.routing_cost == 1.0

@@ -1,0 +1,99 @@
+"""Tests for the demand-oblivious rotor baseline."""
+
+import pytest
+
+from repro.config import MatchingConfig
+from repro.core import RBMA, RotorBMA, round_robin_schedule
+from repro.errors import ConfigurationError
+from repro.matching.validation import check_b_matching
+from repro.traffic import hotspot_trace, uniform_random_trace
+from repro.types import Request, canonical_pair
+
+
+class TestRoundRobinSchedule:
+    @pytest.mark.parametrize("n", [2, 4, 6, 8, 10])
+    def test_even_n_perfect_matchings(self, n):
+        schedule = round_robin_schedule(n)
+        assert len(schedule) == n - 1
+        for slot in schedule:
+            assert len(slot) == n // 2
+            nodes = [x for pair in slot for x in pair]
+            assert len(nodes) == len(set(nodes))
+
+    @pytest.mark.parametrize("n", [3, 5, 7])
+    def test_odd_n_near_perfect(self, n):
+        schedule = round_robin_schedule(n)
+        assert len(schedule) == n
+        for slot in schedule:
+            assert len(slot) == (n - 1) // 2
+
+    @pytest.mark.parametrize("n", [4, 5, 8, 9])
+    def test_every_pair_appears_exactly_once(self, n):
+        schedule = round_robin_schedule(n)
+        seen = [pair for slot in schedule for pair in slot]
+        assert len(seen) == len(set(seen)) == n * (n - 1) // 2
+        assert set(seen) == {canonical_pair(u, v) for u in range(n) for v in range(u + 1, n)}
+
+    def test_rejects_single_node(self):
+        with pytest.raises(ConfigurationError):
+            round_robin_schedule(1)
+
+
+class TestRotorBMA:
+    def test_initial_matching_installed_for_free(self, small_leafspine):
+        algo = RotorBMA(small_leafspine, MatchingConfig(b=2, alpha=4), period=10)
+        assert len(algo.matching) > 0
+        assert algo.total_reconfiguration_cost == 0.0
+        assert len(algo.installed_slots) == 2
+
+    def test_rotation_after_period(self, small_leafspine):
+        algo = RotorBMA(small_leafspine, MatchingConfig(b=2, alpha=4), period=5)
+        before = set(algo.matching.edges)
+        for _ in range(4):
+            outcome = algo.serve(Request(0, 1))
+            assert outcome.edges_added == () and outcome.edges_removed == ()
+        outcome = algo.serve(Request(0, 1))  # 5th request rotates
+        assert outcome.edges_added or outcome.edges_removed
+        assert set(algo.matching.edges) != before
+        assert outcome.reconfiguration_cost > 0
+
+    def test_degree_bound_and_feasibility_over_time(self, small_leafspine):
+        trace = uniform_random_trace(n_nodes=8, n_requests=500, seed=1)
+        algo = RotorBMA(small_leafspine, MatchingConfig(b=3, alpha=4), period=20)
+        for request in trace.requests():
+            algo.serve(request)
+            check_b_matching(algo.matching.edges, 8, 3)
+        # Rotation keeps exactly b slots installed.
+        assert len(algo.installed_slots) == 3
+
+    def test_no_rotation_when_all_slots_fit(self, small_leafspine):
+        # 8 racks -> 7 slots; with b=7 every pair is always matched.
+        algo = RotorBMA(small_leafspine, MatchingConfig(b=7, alpha=4), period=1)
+        trace = uniform_random_trace(n_nodes=8, n_requests=100, seed=2)
+        for request in trace.requests():
+            outcome = algo.serve(request)
+            assert outcome.served_by_matching
+            assert outcome.reconfiguration_cost == 0.0
+
+    def test_demand_aware_beats_rotor_on_skewed_traffic(self, small_fattree):
+        trace = hotspot_trace(n_nodes=16, n_requests=3000, n_hot_pairs=4,
+                              hot_fraction=0.9, seed=3)
+        config = MatchingConfig(b=2, alpha=8)
+        rotor = RotorBMA(small_fattree, config, period=100)
+        rbma = RBMA(small_fattree, config, rng=0)
+        rotor_cost = sum(rotor.serve(r).routing_cost for r in trace.requests())
+        rbma_cost = sum(rbma.serve(r).routing_cost for r in trace.requests())
+        assert rbma_cost < rotor_cost
+
+    def test_rejects_bad_period(self, small_leafspine):
+        with pytest.raises(ConfigurationError):
+            RotorBMA(small_leafspine, MatchingConfig(b=2, alpha=4), period=0)
+
+    def test_reset(self, small_leafspine):
+        algo = RotorBMA(small_leafspine, MatchingConfig(b=2, alpha=4), period=3)
+        for _ in range(10):
+            algo.serve(Request(0, 1))
+        algo.reset()
+        assert algo.total_cost == 0.0
+        assert len(algo.installed_slots) == 2
+        assert len(algo.matching) > 0

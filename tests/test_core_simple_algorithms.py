@@ -1,0 +1,95 @@
+"""Tests for the oblivious and greedy algorithms and the algorithm registry."""
+
+import pytest
+
+from repro.config import MatchingConfig
+from repro.core import (
+    BMA,
+    RBMA,
+    GreedyBMA,
+    ObliviousRouting,
+    StaticOfflineBMA,
+    available_algorithms,
+    make_algorithm,
+)
+from repro.errors import ConfigurationError
+from repro.types import Request
+
+
+class TestOblivious:
+    def test_never_reconfigures(self, small_fattree, fb_like_trace):
+        algo = ObliviousRouting(small_fattree, MatchingConfig(b=3, alpha=4))
+        algo.serve_all(list(fb_like_trace.requests()))
+        assert len(algo.matching) == 0
+        assert algo.total_reconfiguration_cost == 0.0
+        assert algo.matched_fraction == 0.0
+
+    def test_cost_equals_sum_of_lengths(self, small_fattree, fb_like_trace):
+        algo = ObliviousRouting(small_fattree, MatchingConfig(b=3, alpha=4))
+        expected = sum(
+            small_fattree.pair_length(small_fattree.validate_pair(r.src, r.dst))
+            for r in fb_like_trace.requests()
+        )
+        algo.serve_all(list(fb_like_trace.requests()))
+        assert algo.total_routing_cost == pytest.approx(expected)
+
+
+class TestGreedy:
+    def test_adds_after_threshold(self, small_leafspine):
+        algo = GreedyBMA(small_leafspine, MatchingConfig(b=2, alpha=4))
+        algo.serve(Request(0, 1))
+        assert (0, 1) not in algo.matching
+        algo.serve(Request(0, 1))
+        assert (0, 1) in algo.matching
+
+    def test_never_evicts(self, small_leafspine):
+        algo = GreedyBMA(small_leafspine, MatchingConfig(b=1, alpha=2))
+        algo.serve(Request(0, 1))
+        assert (0, 1) in algo.matching
+        for _ in range(20):
+            algo.serve(Request(0, 2))
+        # Node 0 is full and greedy never evicts, so (0,2) can never enter.
+        assert (0, 2) not in algo.matching
+        assert (0, 1) in algo.matching
+        assert algo.matching.removals == 0
+
+    def test_custom_threshold(self, small_leafspine):
+        algo = GreedyBMA(small_leafspine, MatchingConfig(b=2, alpha=10), threshold=2)
+        algo.serve(Request(0, 1))
+        assert (0, 1) in algo.matching
+
+    def test_matched_requests_do_not_accumulate(self, small_leafspine):
+        algo = GreedyBMA(small_leafspine, MatchingConfig(b=2, alpha=2))
+        algo.serve(Request(0, 1))
+        for _ in range(5):
+            outcome = algo.serve(Request(0, 1))
+            assert outcome.edges_added == ()
+
+
+class TestRegistry:
+    def test_lists_expected_algorithms(self):
+        names = available_algorithms()
+        for expected in ("rbma", "bma", "oblivious", "greedy", "so-bma", "uniform", "predictive"):
+            assert expected in names
+
+    def test_make_algorithm_types(self, small_leafspine):
+        config = MatchingConfig(b=2, alpha=4)
+        assert isinstance(make_algorithm("rbma", small_leafspine, config, rng=0), RBMA)
+        assert isinstance(make_algorithm("bma", small_leafspine, config), BMA)
+        assert isinstance(make_algorithm("so-bma", small_leafspine, config), StaticOfflineBMA)
+        assert isinstance(make_algorithm("oblivious", small_leafspine, config), ObliviousRouting)
+        assert isinstance(make_algorithm("greedy", small_leafspine, config), GreedyBMA)
+
+    def test_kwargs_forwarded(self, small_leafspine):
+        algo = make_algorithm(
+            "rbma", small_leafspine, MatchingConfig(b=2, alpha=4), rng=0, paging_policy="lru"
+        )
+        assert isinstance(algo, RBMA)
+
+    def test_case_insensitive(self, small_leafspine):
+        algo = make_algorithm("RBMA", small_leafspine, MatchingConfig(b=2, alpha=4), rng=0)
+        assert algo.name == "rbma"
+
+    def test_unknown_algorithm(self, small_leafspine):
+        with pytest.raises(ConfigurationError):
+            make_algorithm("nope", small_leafspine, MatchingConfig(b=2, alpha=4))

@@ -1,0 +1,74 @@
+"""Tests for SO-BMA, the static offline maximum-weight matching baseline."""
+
+import pytest
+
+from repro.config import MatchingConfig
+from repro.core import ObliviousRouting, StaticOfflineBMA
+from repro.errors import ConfigurationError
+from repro.matching.validation import check_b_matching
+from repro.traffic import hotspot_trace, zipf_pair_trace
+from repro.types import Request
+
+
+class TestFitting:
+    def test_requires_full_trace_flag(self, small_fattree):
+        algo = StaticOfflineBMA(small_fattree, MatchingConfig(b=2, alpha=4))
+        assert algo.requires_full_trace is True
+        assert algo.fitted is False
+
+    def test_fit_installs_valid_matching(self, small_fattree, fb_like_trace):
+        algo = StaticOfflineBMA(small_fattree, MatchingConfig(b=3, alpha=4))
+        algo.fit(list(fb_like_trace.requests()))
+        assert algo.fitted
+        assert len(algo.matching) > 0
+        check_b_matching(algo.matching.edges, small_fattree.n_racks, 3)
+
+    def test_fit_charges_setup_reconfiguration(self, small_fattree, fb_like_trace):
+        config = MatchingConfig(b=3, alpha=4)
+        algo = StaticOfflineBMA(small_fattree, config)
+        algo.fit(list(fb_like_trace.requests()))
+        assert algo.total_reconfiguration_cost == pytest.approx(len(algo.matching) * config.alpha)
+
+    def test_matches_hot_pairs(self, small_fattree):
+        trace = hotspot_trace(n_nodes=16, n_requests=2000, n_hot_pairs=4,
+                              hot_fraction=0.95, seed=1)
+        algo = StaticOfflineBMA(small_fattree, MatchingConfig(b=2, alpha=4))
+        algo.fit(list(trace.requests()))
+        counts = trace.pair_counts()
+        top_pairs = sorted(counts, key=counts.get, reverse=True)[:2]
+        for pair in top_pairs:
+            assert pair in algo.matching
+
+    def test_never_reconfigures_while_serving(self, small_fattree, fb_like_trace):
+        algo = StaticOfflineBMA(small_fattree, MatchingConfig(b=2, alpha=4))
+        requests = list(fb_like_trace.requests())
+        algo.fit(requests)
+        before = set(algo.matching.edges)
+        for request in requests:
+            algo.serve(request)
+        assert set(algo.matching.edges) == before
+
+    def test_greedy_solver_option(self, small_fattree, fb_like_trace):
+        algo = StaticOfflineBMA(small_fattree, MatchingConfig(b=3, alpha=4), solver="greedy")
+        algo.fit(list(fb_like_trace.requests()))
+        check_b_matching(algo.matching.edges, small_fattree.n_racks, 3)
+
+    def test_unknown_solver_rejected(self, small_fattree):
+        with pytest.raises(ConfigurationError):
+            StaticOfflineBMA(small_fattree, MatchingConfig(b=2, alpha=4), solver="ilp")
+
+    def test_beats_oblivious_on_skewed_traffic(self, small_fattree):
+        trace = zipf_pair_trace(n_nodes=16, n_requests=3000, exponent=1.5, seed=4)
+        config = MatchingConfig(b=4, alpha=4)
+        so = StaticOfflineBMA(small_fattree, config)
+        so.serve_all(list(trace.requests()))
+        oblivious = ObliviousRouting(small_fattree, config)
+        oblivious.serve_all(list(trace.requests()))
+        assert so.total_routing_cost < 0.9 * oblivious.total_routing_cost
+
+    def test_reset_clears_fit(self, small_fattree, fb_like_trace):
+        algo = StaticOfflineBMA(small_fattree, MatchingConfig(b=2, alpha=4))
+        algo.fit(list(fb_like_trace.requests()))
+        algo.reset()
+        assert not algo.fitted
+        assert len(algo.matching) == 0

@@ -1,0 +1,102 @@
+"""Tests for the uniform-case machinery (Theorem 2 reduction)."""
+
+import numpy as np
+import pytest
+
+from repro.config import MatchingConfig
+from repro.core import UniformBMatching
+from repro.core.uniform import PerNodePagingMatcher
+from repro.matching import BMatching
+from repro.matching.validation import check_b_matching
+from repro.paging.registry import make_paging_factory
+from repro.types import Request
+
+
+class TestPerNodePagingMatcher:
+    def _matcher(self, n=6, b=2, policy="marking", seed=0):
+        matching = BMatching(n, b)
+        return PerNodePagingMatcher(matching, make_paging_factory(policy), rng=seed)
+
+    def test_requested_pair_becomes_matched(self):
+        m = self._matcher()
+        added, removed = m.process((0, 1))
+        assert added == ((0, 1),)
+        assert removed == ()
+        assert (0, 1) in m.matching
+
+    def test_repeated_pair_is_stable(self):
+        m = self._matcher()
+        m.process((0, 1))
+        added, removed = m.process((0, 1))
+        assert added == () and removed == ()
+
+    def test_pagers_created_lazily(self):
+        m = self._matcher()
+        assert m.active_nodes == frozenset()
+        m.process((2, 4))
+        assert m.active_nodes == {2, 4}
+
+    def test_invariant_unmarked_edges_cached_at_both_endpoints(self):
+        rng = np.random.default_rng(1)
+        m = self._matcher(n=8, b=2, seed=3)
+        for _ in range(300):
+            u, v = rng.choice(8, size=2, replace=False)
+            m.process((min(u, v), max(u, v)))
+            for edge in m.matching.edges:
+                if edge in m.matching.marked_edges:
+                    continue
+                for endpoint in edge:
+                    assert edge in m.pager(endpoint)
+
+    def test_degree_bound_never_violated(self):
+        rng = np.random.default_rng(2)
+        for policy in ("marking", "lru", "fifo", "lfu", "random"):
+            m = self._matcher(n=6, b=2, policy=policy, seed=5)
+            for _ in range(400):
+                u, v = rng.choice(6, size=2, replace=False)
+                m.process((min(u, v), max(u, v)))
+                check_b_matching(m.matching.edges, 6, 2)
+
+    def test_eviction_marks_edge_for_removal(self):
+        # b=1: matching 0-1, then requesting 0-2 evicts 0-1 from node 0's cache.
+        m = self._matcher(n=4, b=1)
+        m.process((0, 1))
+        added, removed = m.process((0, 2))
+        assert (0, 2) in m.matching
+        assert (0, 1) not in m.matching  # pruned to make room at node 0
+        assert ((0, 1)) in removed
+
+    def test_reset_clears_pagers(self):
+        m = self._matcher()
+        m.process((0, 1))
+        m.reset()
+        assert m.active_nodes == frozenset()
+
+
+class TestUniformBMatching:
+    def test_runs_and_respects_bounds(self, small_leafspine, uniform_trace):
+        algo = UniformBMatching(small_leafspine, MatchingConfig(b=2, alpha=1), rng=0)
+        algo.serve_all(list(uniform_trace.requests()))
+        check_b_matching(algo.matching.edges, small_leafspine.n_racks, 2)
+        assert algo.requests_served == len(uniform_trace)
+
+    def test_every_request_forwarded(self, small_leafspine):
+        algo = UniformBMatching(small_leafspine, MatchingConfig(b=2, alpha=1), rng=0)
+        algo.serve(Request(0, 1))
+        assert (0, 1) in algo.matching
+
+    def test_repeated_working_set_is_all_hits(self, small_leafspine):
+        algo = UniformBMatching(small_leafspine, MatchingConfig(b=2, alpha=1), rng=0)
+        pairs = [(0, 1), (2, 3), (4, 5)]
+        for _ in range(20):
+            for u, v in pairs:
+                algo.serve(Request(u, v))
+        # After the first pass everything fits (degree 1 per node <= b=2).
+        assert algo.matched_fraction > 0.9
+
+    def test_alternative_paging_policy(self, small_leafspine, uniform_trace):
+        algo = UniformBMatching(
+            small_leafspine, MatchingConfig(b=2, alpha=1), rng=0, paging_policy="lru"
+        )
+        algo.serve_all(list(uniform_trace.requests()))
+        check_b_matching(algo.matching.edges, small_leafspine.n_racks, 2)

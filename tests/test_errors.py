@@ -1,0 +1,23 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in errors.__all__:
+        exc = getattr(errors, name)
+        assert issubclass(exc, Exception)
+        assert issubclass(exc, errors.ReproError)
+
+
+def test_degree_constraint_is_matching_error():
+    assert issubclass(errors.DegreeConstraintError, errors.MatchingError)
+
+
+def test_catching_base_catches_subclasses():
+    with pytest.raises(errors.ReproError):
+        raise errors.TopologyError("boom")
+    with pytest.raises(errors.MatchingError):
+        raise errors.DegreeConstraintError("full")

@@ -1,0 +1,132 @@
+"""Integration tests connecting the implementation to the paper's theorems.
+
+These do not re-prove the theorems; they check that the *mechanisms* the
+proofs rely on are implemented as described (the Theorem 1 request filter,
+the Theorem 2 matching/caching invariant, the Lemma 1 star-graph embedding)
+and that measured competitive ratios sit inside the proven envelope on small
+adversarial instances.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    adversarial_paging_trace,
+    empirical_competitive_ratio,
+    optimal_dynamic_matching_cost,
+    round_robin_adversary_trace,
+)
+from repro.config import MatchingConfig
+from repro.core import RBMA, UniformBMatching
+from repro.paging import offline_paging_cost
+from repro.paging.bounds import rbma_upper_bound
+from repro.topology import LeafSpineTopology, StarTopology
+from repro.types import Request, as_requests
+
+
+class TestTheorem1Mechanism:
+    """R-BMA touches the matching only on every k_e-th request to a pair."""
+
+    def test_reconfigurations_only_on_special_requests(self):
+        topo = LeafSpineTopology(n_racks=6)  # lengths 2
+        alpha = 10.0
+        algo = RBMA(topo, MatchingConfig(b=2, alpha=alpha), rng=0)
+        k_e = math.ceil(alpha / 2.0)
+        rng = np.random.default_rng(0)
+        pair_pool = [(0, 1), (2, 3), (0, 4), (1, 5)]
+        counts = {p: 0 for p in pair_pool}
+        for _ in range(400):
+            pair = pair_pool[rng.integers(len(pair_pool))]
+            counts[pair] += 1
+            outcome = algo.serve(Request(*pair))
+            touched = outcome.edges_added or outcome.edges_removed
+            if counts[pair] % k_e != 0:
+                assert not touched
+            # (on special requests reconfiguration is allowed but not forced)
+
+    def test_total_reconfigurations_bounded_by_special_requests(self):
+        topo = LeafSpineTopology(n_racks=8)
+        alpha = 8.0
+        algo = RBMA(topo, MatchingConfig(b=2, alpha=alpha), rng=1)
+        rng = np.random.default_rng(2)
+        n = 600
+        for _ in range(n):
+            u, v = rng.choice(8, size=2, replace=False)
+            algo.serve(Request(int(u), int(v)))
+        k_e = math.ceil(alpha / 2.0)
+        max_special = n // k_e + len(list(algo.matching.edges))
+        # Each special request adds at most 1 edge and removals never exceed additions.
+        assert algo.matching.additions <= n // k_e + 1
+        assert algo.matching.removals <= algo.matching.additions
+
+
+class TestTheorem2Invariant:
+    """A pair is (unmarked-)matched iff it is cached at both endpoints."""
+
+    def test_invariant_holds_throughout_uniform_run(self):
+        topo = LeafSpineTopology(n_racks=8)
+        algo = UniformBMatching(topo, MatchingConfig(b=2, alpha=1), rng=3)
+        rng = np.random.default_rng(4)
+        for _ in range(500):
+            u, v = rng.choice(8, size=2, replace=False)
+            algo.serve(Request(int(u), int(v)))
+            matcher = algo._matcher
+            for edge in algo.matching.edges:
+                if edge in algo.matching.marked_edges:
+                    continue
+                assert edge in matcher.pager(edge[0])
+                assert edge in matcher.pager(edge[1])
+            # Conversely: anything cached at both endpoints is matched.
+            for node in matcher.active_nodes:
+                for page in matcher.pager(node).cache:
+                    other = page[0] if page[1] == node else page[1]
+                    if other in matcher.active_nodes and page in matcher.pager(other):
+                        assert page in algo.matching
+
+
+class TestLemma1Embedding:
+    """The star construction turns (b, a)-matching into paging with bypassing."""
+
+    def test_star_matching_cost_tracks_paging_cost(self):
+        b = 3
+        alpha = 4.0
+        n_blocks = 60
+        trace = adversarial_paging_trace(b=b, n_blocks=n_blocks, alpha=alpha, seed=5)
+        topo = StarTopology(n_racks=b + 1, hub_is_rack=True)
+        algo = RBMA(topo, MatchingConfig(b=b, alpha=alpha), rng=6)
+        algo.serve_all(list(trace.requests()))
+        # The induced paging instance: one page per leaf, one request per block.
+        leaf_sequence = trace.destinations[:: int(alpha)].tolist()
+        paging_opt = offline_paging_cost(leaf_sequence, b)
+        # The matching algorithm's total cost is at least the optimal paging
+        # cost (each paging fault forces either alpha routing cost or a
+        # reconfiguration of cost alpha), up to the additive cost of the
+        # first fills.
+        assert algo.total_cost >= paging_opt
+        # And it is finite/sane: not more than routing everything obliviously.
+        assert algo.total_routing_cost <= len(trace) * 1.0 + n_blocks * alpha
+
+
+class TestCompetitiveEnvelope:
+    def test_rbma_ratio_within_corollary3_bound_on_adversarial_instances(self):
+        b = 2
+        alpha = 3.0
+        topo = StarTopology(n_racks=b + 1, hub_is_rack=True)
+        config = MatchingConfig(b=b, alpha=alpha)
+        trace = round_robin_adversary_trace(b=b, n_blocks=30, alpha=alpha)
+        requests = list(trace.requests())
+        report = empirical_competitive_ratio(
+            lambda: RBMA(topo, config, rng=8), requests, topo, config, trials=5
+        )
+        assert report.offline_cost > 0
+        assert report.ratio <= report.theoretical_bound
+
+    def test_upper_bound_formula_matches_instance_parameters(self):
+        topo = LeafSpineTopology(n_racks=10)
+        config = MatchingConfig(b=6, alpha=40)
+        algo = RBMA(topo, config, rng=0)
+        assert algo.theoretical_upper_bound() == pytest.approx(
+            rbma_upper_bound(6, 6, topo.max_distance(), 40)
+        )

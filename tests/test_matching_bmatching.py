@@ -1,0 +1,166 @@
+"""Tests for the dynamic BMatching structure."""
+
+import pytest
+
+from repro.errors import DegreeConstraintError, MatchingError
+from repro.matching import BMatching
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(MatchingError):
+            BMatching(1, 1)
+        with pytest.raises(MatchingError):
+            BMatching(4, 0)
+
+    def test_empty_initially(self):
+        m = BMatching(4, 2)
+        assert len(m) == 0
+        assert m.edges == frozenset()
+        assert m.degree(0) == 0
+
+
+class TestAddRemove:
+    def test_add_canonicalises(self):
+        m = BMatching(4, 2)
+        assert m.add(3, 1) == (1, 3)
+        assert (1, 3) in m
+        assert (3, 1) in m  # membership is order-insensitive
+
+    def test_degree_tracking(self):
+        m = BMatching(5, 2)
+        m.add(0, 1)
+        m.add(0, 2)
+        assert m.degree(0) == 2
+        assert m.degree(1) == 1
+        assert m.edges_at(0) == frozenset({(0, 1), (0, 2)})
+
+    def test_duplicate_add_rejected(self):
+        m = BMatching(4, 2)
+        m.add(0, 1)
+        with pytest.raises(MatchingError):
+            m.add(1, 0)
+
+    def test_degree_bound_enforced(self):
+        m = BMatching(4, 1)
+        m.add(0, 1)
+        with pytest.raises(DegreeConstraintError):
+            m.add(0, 2)
+
+    def test_remove(self):
+        m = BMatching(4, 2)
+        m.add(0, 1)
+        m.remove(1, 0)
+        assert len(m) == 0
+        assert m.degree(0) == 0
+
+    def test_remove_missing_rejected(self):
+        m = BMatching(4, 2)
+        with pytest.raises(MatchingError):
+            m.remove(0, 1)
+
+    def test_addition_and_removal_counters(self):
+        m = BMatching(4, 2)
+        m.add(0, 1)
+        m.add(2, 3)
+        m.remove(0, 1)
+        assert m.additions == 2
+        assert m.removals == 1
+
+    def test_out_of_range_node(self):
+        m = BMatching(4, 2)
+        with pytest.raises(MatchingError):
+            m.add(0, 4)
+        with pytest.raises(MatchingError):
+            m.degree(9)
+
+    def test_has_capacity(self):
+        m = BMatching(4, 1)
+        assert m.has_capacity(0, 1)
+        m.add(0, 1)
+        assert not m.has_capacity(0, 2)  # node 0 full
+        assert not m.has_capacity(0, 1)  # already present
+        assert m.has_capacity(2, 3)
+
+    def test_clear(self):
+        m = BMatching(4, 2)
+        m.add(0, 1)
+        m.add(2, 3)
+        m.clear()
+        assert len(m) == 0
+        assert m.removals == 2
+
+
+class TestLazyRemoval:
+    def test_mark_and_prune(self):
+        m = BMatching(4, 1)
+        m.add(0, 1)
+        assert m.mark_for_removal(0, 1)
+        assert m.is_marked(0, 1)
+        removed = m.prune_to_capacity(0)
+        assert removed == [(0, 1)]
+        assert len(m) == 0
+
+    def test_mark_missing_edge_is_noop(self):
+        m = BMatching(4, 2)
+        assert m.mark_for_removal(0, 1) is False
+
+    def test_unmark(self):
+        m = BMatching(4, 2)
+        m.add(0, 1)
+        m.mark_for_removal(0, 1)
+        assert m.unmark(0, 1) is True
+        assert not m.is_marked(0, 1)
+        assert m.unmark(0, 1) is False
+
+    def test_prune_without_marked_edges_raises(self):
+        m = BMatching(4, 1)
+        m.add(0, 1)
+        with pytest.raises(DegreeConstraintError):
+            m.prune_to_capacity(0)
+
+    def test_prune_noop_when_capacity_available(self):
+        m = BMatching(4, 2)
+        m.add(0, 1)
+        m.mark_for_removal(0, 1)
+        assert m.prune_to_capacity(0) == []
+        assert (0, 1) in m  # marked edges are kept while there is room
+
+    def test_prune_removes_only_enough(self):
+        m = BMatching(6, 2)
+        m.add(0, 1)
+        m.add(0, 2)
+        m.mark_for_removal(0, 1)
+        m.mark_for_removal(0, 2)
+        removed = m.prune_to_capacity(0)
+        assert len(removed) == 1
+        assert m.degree(0) == 1
+
+    def test_remove_clears_mark(self):
+        m = BMatching(4, 2)
+        m.add(0, 1)
+        m.mark_for_removal(0, 1)
+        m.remove(0, 1)
+        assert m.marked_edges == frozenset()
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        m = BMatching(4, 2)
+        m.add(0, 1)
+        m.mark_for_removal(0, 1)
+        clone = m.copy()
+        clone.remove(0, 1)
+        assert (0, 1) in m
+        assert (0, 1) not in clone
+
+    def test_copy_preserves_counters_and_marks(self):
+        m = BMatching(4, 2)
+        m.add(0, 1)
+        m.add(2, 3)
+        m.remove(2, 3)
+        m.mark_for_removal(0, 1)
+        clone = m.copy()
+        assert clone.additions == m.additions
+        assert clone.removals == m.removals
+        assert clone.marked_edges == m.marked_edges

@@ -1,0 +1,116 @@
+"""Tests for the static maximum-weight b-matching solvers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.matching import (
+    exact_max_weight_b_matching,
+    greedy_b_matching,
+    iterated_max_weight_b_matching,
+    matching_weight,
+)
+from repro.matching.validation import check_b_matching
+
+
+def _random_weights(n_nodes: int, n_pairs: int, seed: int) -> dict:
+    rng = np.random.default_rng(seed)
+    weights = {}
+    while len(weights) < n_pairs:
+        u, v = rng.integers(0, n_nodes, size=2)
+        if u != v:
+            weights[(min(u, v), max(u, v))] = float(rng.uniform(0.5, 10))
+    return weights
+
+
+class TestGreedy:
+    def test_simple_choice(self):
+        weights = {(0, 1): 10.0, (1, 2): 5.0, (2, 3): 8.0}
+        chosen = greedy_b_matching(weights, 4, b=1)
+        assert chosen == {(0, 1), (2, 3)}
+
+    def test_respects_degree_bound(self):
+        weights = {(0, i): 10.0 - i for i in range(1, 6)}
+        chosen = greedy_b_matching(weights, 6, b=2)
+        check_b_matching(chosen, 6, 2)
+        assert chosen == {(0, 1), (0, 2)}
+
+    def test_ignores_non_positive_weights(self):
+        weights = {(0, 1): 0.0, (2, 3): -1.0, (1, 2): 3.0}
+        assert greedy_b_matching(weights, 4, b=1) == {(1, 2)}
+
+    def test_half_approximation_on_random_instances(self):
+        for seed in range(5):
+            weights = _random_weights(6, 8, seed)
+            exact = exact_max_weight_b_matching(weights, 6, b=2)
+            greedy = greedy_b_matching(weights, 6, b=2)
+            assert matching_weight(greedy, weights) >= 0.5 * matching_weight(exact, weights)
+
+    def test_rejects_bad_b(self):
+        with pytest.raises(SolverError):
+            greedy_b_matching({(0, 1): 1.0}, 2, b=0)
+
+    def test_rejects_out_of_range_pair(self):
+        with pytest.raises(SolverError):
+            greedy_b_matching({(0, 9): 1.0}, 4, b=1)
+
+
+class TestIteratedBlossom:
+    def test_b_one_is_max_weight_matching(self):
+        weights = {(0, 1): 2.0, (1, 2): 3.0, (2, 3): 2.0}
+        chosen = iterated_max_weight_b_matching(weights, 4, b=1)
+        # Max weight matching picks (0,1)+(2,3) with weight 4 > (1,2) with 3.
+        assert chosen == {(0, 1), (2, 3)}
+
+    def test_valid_b_matching_on_random_instances(self):
+        for seed in range(4):
+            weights = _random_weights(8, 14, seed)
+            for b in (1, 2, 3):
+                chosen = iterated_max_weight_b_matching(weights, 8, b=b)
+                check_b_matching(chosen, 8, b)
+
+    def test_at_least_greedy_quality_typically(self):
+        weights = _random_weights(8, 16, seed=3)
+        blossom = iterated_max_weight_b_matching(weights, 8, b=2)
+        exact = exact_max_weight_b_matching(weights, 8, b=2, max_edges=20)
+        assert matching_weight(blossom, weights) >= 0.5 * matching_weight(exact, weights)
+
+    def test_covers_all_weight_with_large_b(self):
+        weights = {(0, 1): 1.0, (0, 2): 1.0, (0, 3): 1.0}
+        chosen = iterated_max_weight_b_matching(weights, 4, b=3)
+        assert chosen == set(weights)
+
+    def test_empty_weights(self):
+        assert iterated_max_weight_b_matching({}, 4, b=2) == set()
+
+
+class TestExact:
+    def test_beats_or_matches_heuristics(self):
+        for seed in range(4):
+            weights = _random_weights(6, 9, seed)
+            exact = exact_max_weight_b_matching(weights, 6, b=2)
+            for heuristic in (
+                greedy_b_matching(weights, 6, b=2),
+                iterated_max_weight_b_matching(weights, 6, b=2),
+            ):
+                assert matching_weight(exact, weights) >= matching_weight(heuristic, weights) - 1e-9
+
+    def test_respects_degree_bound(self):
+        weights = {(0, 1): 5.0, (0, 2): 4.0, (0, 3): 3.0}
+        exact = exact_max_weight_b_matching(weights, 4, b=1)
+        assert exact == {(0, 1)}
+
+    def test_guard_on_instance_size(self):
+        weights = {(i, j): 1.0 for i in range(10) for j in range(i + 1, 10)}
+        with pytest.raises(SolverError):
+            exact_max_weight_b_matching(weights, 10, b=1, max_edges=10)
+
+
+class TestMatchingWeight:
+    def test_sums_selected_weights(self):
+        weights = {(0, 1): 2.0, (2, 3): 3.5}
+        assert matching_weight({(0, 1)}, weights) == 2.0
+        assert matching_weight({(0, 1), (2, 3)}, weights) == 5.5
+
+    def test_missing_edges_weigh_zero(self):
+        assert matching_weight({(4, 5)}, {(0, 1): 2.0}) == 0.0

@@ -1,0 +1,39 @@
+"""Tests for b-matching validation helpers."""
+
+import pytest
+
+from repro.errors import MatchingError
+from repro.matching import check_b_matching, is_valid_b_matching
+from repro.matching.validation import degree_histogram
+
+
+class TestValidation:
+    def test_valid_matching_accepted(self):
+        edges = [(0, 1), (2, 3), (0, 2)]
+        check_b_matching(edges, 4, b=2)
+        assert is_valid_b_matching(edges, 4, b=2)
+
+    def test_degree_violation_detected(self):
+        edges = [(0, 1), (0, 2), (0, 3)]
+        assert not is_valid_b_matching(edges, 4, b=2)
+        with pytest.raises(MatchingError, match="degree"):
+            check_b_matching(edges, 4, b=2)
+
+    def test_duplicate_edge_detected(self):
+        with pytest.raises(MatchingError, match="duplicate"):
+            check_b_matching([(0, 1), (1, 0)], 4, b=2)
+
+    def test_self_loop_detected(self):
+        with pytest.raises(MatchingError, match="self-loop"):
+            check_b_matching([(1, 1)], 4, b=2)
+
+    def test_out_of_range_detected(self):
+        with pytest.raises(MatchingError, match="out of range"):
+            check_b_matching([(0, 7)], 4, b=2)
+
+    def test_empty_matching_valid(self):
+        assert is_valid_b_matching([], 4, b=1)
+
+    def test_degree_histogram(self):
+        edges = [(0, 1), (0, 2), (1, 2)]
+        assert degree_histogram(edges, 4) == [2, 2, 2, 0]

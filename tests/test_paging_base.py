@@ -1,0 +1,86 @@
+"""Tests for the paging interface shared by all policies."""
+
+import pytest
+
+from repro.errors import PagingError
+from repro.paging import FIFOPaging, LRUPaging, RandomizedMarking
+from repro.paging.base import PagingResult
+
+
+class TestPagingResult:
+    def test_miss_property(self):
+        assert PagingResult(page="a", hit=False).miss is True
+        assert PagingResult(page="a", hit=True).miss is False
+
+
+class TestRequestSemantics:
+    def test_first_request_is_miss_and_fetches(self):
+        algo = LRUPaging(2)
+        result = algo.request("x")
+        assert result.miss
+        assert "x" in algo
+        assert result.evicted == ()
+
+    def test_hit_does_not_evict(self):
+        algo = LRUPaging(2)
+        algo.request("x")
+        result = algo.request("x")
+        assert result.hit
+        assert result.evicted == ()
+
+    def test_eviction_reported(self):
+        algo = FIFOPaging(1)
+        algo.request("x")
+        result = algo.request("y")
+        assert result.miss
+        assert result.evicted == ("x",)
+        assert "x" not in algo and "y" in algo
+
+    def test_cache_never_exceeds_capacity(self):
+        algo = RandomizedMarking(3, rng=0)
+        for i in range(50):
+            algo.request(i % 7)
+            assert len(algo) <= 3
+
+    def test_capacity_validation(self):
+        with pytest.raises(PagingError):
+            LRUPaging(0)
+
+    def test_stats_counting(self):
+        algo = LRUPaging(2)
+        algo.request("a")
+        algo.request("a")
+        algo.request("b")
+        algo.request("c")
+        assert algo.stats.requests == 4
+        assert algo.stats.hits == 1
+        assert algo.stats.misses == 3
+        assert algo.stats.evictions == 1
+        assert algo.stats.hit_ratio() == pytest.approx(0.25)
+
+    def test_serve_sequence_returns_misses(self):
+        algo = LRUPaging(2)
+        misses = algo.serve_sequence(["a", "b", "a", "c", "a"])
+        assert misses == 3
+
+    def test_reset_clears_everything(self):
+        algo = LRUPaging(2)
+        algo.serve_sequence(["a", "b", "c"])
+        algo.reset()
+        assert len(algo) == 0
+        assert algo.stats.requests == 0
+        # After reset the policy state is clean: no stale eviction order.
+        algo.request("x")
+        algo.request("y")
+        result = algo.request("z")
+        assert result.evicted == ("x",)
+
+    def test_drop_removes_page(self):
+        algo = LRUPaging(3)
+        algo.request("a")
+        assert algo.drop("a") is True
+        assert "a" not in algo
+        assert algo.drop("a") is False
+
+    def test_hit_ratio_empty(self):
+        assert LRUPaging(1).stats.hit_ratio() == 0.0

@@ -1,0 +1,54 @@
+"""Tests for Belady's offline optimal paging algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PagingError
+from repro.paging import BeladyPaging, FIFOPaging, LRUPaging, offline_paging_cost
+
+
+class TestBelady:
+    def test_simple_optimal_choice(self):
+        # With capacity 2 and sequence a b c a b, Belady evicts c's victim
+        # optimally: faults are a, b, c and then nothing more is forced except
+        # one of a/b that was evicted.
+        sequence = ["a", "b", "c", "a", "b"]
+        assert offline_paging_cost(sequence, 2) == 4
+
+    def test_optimal_on_working_set(self):
+        sequence = ["a", "b"] * 20
+        assert offline_paging_cost(sequence, 2) == 2
+
+    def test_never_worse_than_online_policies(self):
+        rng = np.random.default_rng(4)
+        sequence = rng.integers(0, 9, size=500).tolist()
+        for k in (2, 3, 5):
+            opt = offline_paging_cost(sequence, k)
+            assert opt <= LRUPaging(k).serve_sequence(sequence)
+            assert opt <= FIFOPaging(k).serve_sequence(sequence)
+
+    def test_requires_declared_sequence_order(self):
+        algo = BeladyPaging(2, ["a", "b", "c"])
+        algo.request("a")
+        with pytest.raises(PagingError):
+            algo.request("c")
+
+    def test_rejects_extra_requests(self):
+        algo = BeladyPaging(2, ["a"])
+        algo.request("a")
+        with pytest.raises(PagingError):
+            algo.request("a")
+
+    def test_reset_allows_replay(self):
+        sequence = ["a", "b", "c", "a"]
+        algo = BeladyPaging(2, sequence)
+        first = algo.serve_sequence(sequence)
+        algo.reset()
+        second = algo.serve_sequence(sequence)
+        assert first == second
+
+    def test_monotone_in_capacity(self):
+        rng = np.random.default_rng(8)
+        sequence = rng.integers(0, 12, size=400).tolist()
+        costs = [offline_paging_cost(sequence, k) for k in (1, 2, 4, 8, 12)]
+        assert costs == sorted(costs, reverse=True)

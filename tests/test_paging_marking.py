@@ -1,0 +1,98 @@
+"""Tests for the randomized marking algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.paging import BeladyPaging, RandomizedMarking, offline_paging_cost
+
+
+class TestMarkingMechanics:
+    def test_requested_pages_are_marked(self):
+        algo = RandomizedMarking(3, rng=0)
+        algo.request("a")
+        algo.request("b")
+        assert algo.is_marked("a") and algo.is_marked("b")
+
+    def test_hit_marks_page(self):
+        algo = RandomizedMarking(3, rng=0)
+        algo.request("a")
+        algo.request("b")
+        algo.request("a")
+        assert algo.is_marked("a")
+
+    def test_never_evicts_marked_page_within_phase(self):
+        # Capacity 2: request a, b (both marked).  Requesting c starts a new
+        # phase; the victim must come from the previously marked pages, but
+        # afterwards only c is marked, so requesting the survivor then d must
+        # never evict c (the only marked page) while an unmarked page exists.
+        for seed in range(10):
+            algo = RandomizedMarking(2, rng=seed)
+            algo.request("a")
+            algo.request("b")
+            algo.request("c")  # phase boundary
+            survivor = next(iter(algo.cache - {"c"}), None)
+            if survivor is None:
+                continue
+            result = algo.request("d")
+            assert "c" not in result.evicted
+
+    def test_phase_boundary_clears_marks(self):
+        algo = RandomizedMarking(2, rng=1)
+        algo.request("a")
+        algo.request("b")
+        assert algo.phase_count == 0
+        algo.request("c")
+        assert algo.phase_count == 1
+        # After the boundary only the newly requested page is marked.
+        assert algo.marked_pages == {"c"}
+
+    def test_eviction_unmarks(self):
+        algo = RandomizedMarking(1, rng=0)
+        algo.request("a")
+        algo.request("b")
+        assert not algo.is_marked("a")
+        assert algo.marked_pages == {"b"}
+
+    def test_reset_clears_marking_state(self):
+        algo = RandomizedMarking(2, rng=0)
+        algo.serve_sequence(["a", "b", "c", "d"])
+        algo.reset()
+        assert algo.phase_count == 0
+        assert algo.marked_pages == frozenset()
+
+    def test_reproducible_with_same_seed(self):
+        rng_sequence = np.random.default_rng(3).integers(0, 8, size=300)
+        miss_counts = []
+        for _ in range(2):
+            algo = RandomizedMarking(4, rng=42)
+            miss_counts.append(algo.serve_sequence(rng_sequence.tolist()))
+        assert miss_counts[0] == miss_counts[1]
+
+
+class TestMarkingCompetitiveness:
+    def test_beats_worst_case_on_random_sequences(self):
+        """Expected cost stays within 2·H_k of Belady's optimum (with slack)."""
+        rng = np.random.default_rng(0)
+        k = 4
+        universe = 8
+        sequence = rng.integers(0, universe, size=1200).tolist()
+        opt = offline_paging_cost(sequence, k)
+        h_k = sum(1 / i for i in range(1, k + 1))
+        trials = [
+            RandomizedMarking(k, rng=seed).serve_sequence(sequence) for seed in range(5)
+        ]
+        mean_cost = float(np.mean(trials))
+        assert opt > 0
+        # 2·H_k ≈ 4.17 for k=4; add 20% slack for the finite sequence.
+        assert mean_cost <= 1.2 * 2 * h_k * opt
+
+    def test_optimal_on_cacheable_working_set(self):
+        algo = RandomizedMarking(4, rng=0)
+        sequence = ["a", "b", "c", "d"] * 50
+        misses = algo.serve_sequence(sequence)
+        assert misses == 4  # only compulsory misses
+
+    def test_matches_belady_when_capacity_one(self):
+        sequence = ["a", "b", "a", "b", "c", "a"]
+        algo = RandomizedMarking(1, rng=0)
+        assert algo.serve_sequence(sequence) == offline_paging_cost(sequence, 1)

@@ -1,0 +1,102 @@
+"""Tests for phase partitioning and the theoretical bound formulas."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import PagingError
+from repro.paging import (
+    harmonic_number,
+    marking_competitive_ratio,
+    offline_paging_cost,
+    partition_into_phases,
+    randomized_paging_lower_bound,
+    resource_augmented_ratio,
+)
+from repro.paging.bounds import gamma_factor, rbma_lower_bound, rbma_upper_bound
+
+
+class TestPhasePartition:
+    def test_simple_partition(self):
+        seq = ["a", "b", "a", "c", "d", "c", "e"]
+        part = partition_into_phases(seq, k=2)
+        # Phase 1: a b a ; phase 2: c d c ; phase 3: e
+        assert part.n_phases == 3
+        assert part.boundaries == [0, 3, 6]
+        assert part.distinct_per_phase == [2, 2, 1]
+
+    def test_new_pages_per_phase(self):
+        seq = ["a", "b", "c", "d", "a", "b"]
+        part = partition_into_phases(seq, k=2)
+        assert part.new_pages_per_phase == [2, 2]
+
+    def test_opt_lower_bound_respected_by_belady(self):
+        rng = np.random.default_rng(1)
+        seq = rng.integers(0, 10, size=600).tolist()
+        for k in (2, 4, 6):
+            part = partition_into_phases(seq, k)
+            assert offline_paging_cost(seq, k) >= part.opt_lower_bound()
+
+    def test_single_phase_when_few_pages(self):
+        part = partition_into_phases(["a", "b"] * 10, k=3)
+        assert part.n_phases == 1
+        assert part.opt_lower_bound() == 0
+
+    def test_empty_sequence(self):
+        part = partition_into_phases([], k=2)
+        assert part.n_phases == 0
+        assert part.opt_lower_bound() == 0
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(PagingError):
+            partition_into_phases(["a"], k=0)
+
+
+class TestBounds:
+    def test_harmonic_number(self):
+        assert harmonic_number(1) == 1.0
+        assert harmonic_number(4) == pytest.approx(1 + 0.5 + 1 / 3 + 0.25)
+        assert harmonic_number(0) == 0.0
+
+    def test_marking_ratio(self):
+        assert marking_competitive_ratio(1) == pytest.approx(2.0)
+        assert marking_competitive_ratio(10) == pytest.approx(2 * harmonic_number(10))
+
+    def test_resource_augmented_shrinks_with_slack(self):
+        # More augmentation (smaller a) gives a smaller ratio.
+        assert resource_augmented_ratio(16, 16) > resource_augmented_ratio(16, 8)
+        assert resource_augmented_ratio(16, 8) > resource_augmented_ratio(16, 1)
+
+    def test_lower_bound_below_upper_bound(self):
+        for b in (2, 4, 8, 16):
+            for a in (1, b // 2 or 1, b):
+                assert randomized_paging_lower_bound(b, a) <= resource_augmented_ratio(b, a)
+
+    def test_lower_bound_equals_harmonic_when_a_equals_b(self):
+        assert randomized_paging_lower_bound(6) == pytest.approx(harmonic_number(6))
+
+    def test_gamma_factor(self):
+        assert gamma_factor(4, 40) == pytest.approx(1.1)
+
+    def test_rbma_bounds_ordering(self):
+        for b in (3, 6, 18):
+            upper = rbma_upper_bound(b, b, l_max=4, alpha=40)
+            lower = rbma_lower_bound(b)
+            assert lower < upper
+
+    def test_rbma_upper_bound_grows_logarithmically(self):
+        u6 = rbma_upper_bound(6, 6, 4, 40)
+        u18 = rbma_upper_bound(18, 18, 4, 40)
+        # Tripling b should grow the bound far less than a factor of 3.
+        assert u18 / u6 < 1.8
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_number(-1)
+        with pytest.raises(ValueError):
+            marking_competitive_ratio(0)
+        with pytest.raises(ValueError):
+            resource_augmented_ratio(4, 5)
+        with pytest.raises(ValueError):
+            gamma_factor(0, 1)

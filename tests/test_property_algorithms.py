@@ -1,0 +1,125 @@
+"""Property-based tests for the online matching algorithms (hypothesis).
+
+These are the library's central invariants: for any request sequence, every
+algorithm maintains a feasible b-matching, reports consistent costs, and the
+cost model relations of the paper hold (e.g. the oblivious cost upper-bounds
+every algorithm's routing cost from below by the matched-request count).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import MatchingConfig
+from repro.core import BMA, RBMA, GreedyBMA, ObliviousRouting, UniformBMatching
+from repro.matching.validation import check_b_matching
+from repro.topology import LeafSpineTopology
+from repro.types import Request
+
+N_NODES = 8
+TOPOLOGY = LeafSpineTopology(n_racks=N_NODES)  # every pair has length 2
+
+request_sequences = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=N_NODES - 1),
+        st.integers(min_value=0, max_value=N_NODES - 1),
+    ).filter(lambda p: p[0] != p[1]),
+    min_size=1,
+    max_size=80,
+)
+b_values = st.integers(min_value=1, max_value=4)
+alpha_values = st.sampled_from([1.0, 2.0, 4.0, 8.0])
+
+
+def _algorithms(config):
+    return [
+        RBMA(TOPOLOGY, config, rng=0),
+        BMA(TOPOLOGY, config),
+        GreedyBMA(TOPOLOGY, config),
+        ObliviousRouting(TOPOLOGY, config),
+        UniformBMatching(TOPOLOGY, config, rng=0),
+    ]
+
+
+@given(pairs=request_sequences, b=b_values, alpha=alpha_values)
+@settings(max_examples=60, deadline=None)
+def test_matching_always_feasible(pairs, b, alpha):
+    config = MatchingConfig(b=b, alpha=alpha)
+    for algo in _algorithms(config):
+        for u, v in pairs:
+            algo.serve(Request(u, v))
+            check_b_matching(algo.matching.edges, N_NODES, b)
+
+
+@given(pairs=request_sequences, b=b_values, alpha=alpha_values)
+@settings(max_examples=60, deadline=None)
+def test_cost_accounting_consistent(pairs, b, alpha):
+    """Totals equal the sum of per-request outcomes, and reconfiguration cost
+    equals alpha times the number of matching changes."""
+    config = MatchingConfig(b=b, alpha=alpha)
+    for algo in _algorithms(config):
+        routing = 0.0
+        reconf = 0.0
+        for u, v in pairs:
+            outcome = algo.serve(Request(u, v))
+            routing += outcome.routing_cost
+            reconf += outcome.reconfiguration_cost
+        assert algo.total_routing_cost == routing
+        assert algo.total_reconfiguration_cost == reconf
+        changes = algo.matching.additions + algo.matching.removals
+        assert reconf == changes * alpha
+
+
+@given(pairs=request_sequences, b=b_values, alpha=alpha_values)
+@settings(max_examples=60, deadline=None)
+def test_routing_cost_between_matched_and_oblivious_extremes(pairs, b, alpha):
+    """Routing cost is between 'every request matched' (1 per request) and the
+    oblivious cost (ℓ_e per request)."""
+    config = MatchingConfig(b=b, alpha=alpha)
+    n = len(pairs)
+    oblivious_cost = 2.0 * n
+    for algo in _algorithms(config):
+        algo.serve_all([Request(u, v) for u, v in pairs])
+        assert n - 1e-9 <= algo.total_routing_cost <= oblivious_cost + 1e-9
+        assert 0.0 <= algo.matched_fraction <= 1.0
+
+
+@given(pairs=request_sequences, b=b_values)
+@settings(max_examples=40, deadline=None)
+def test_rbma_reproducible_per_seed(pairs, b):
+    config = MatchingConfig(b=b, alpha=4.0)
+    requests = [Request(u, v) for u, v in pairs]
+    costs = []
+    for _ in range(2):
+        algo = RBMA(TOPOLOGY, config, rng=77)
+        algo.serve_all(requests)
+        costs.append(algo.total_cost)
+    assert costs[0] == costs[1]
+
+
+@given(pairs=request_sequences, alpha=alpha_values)
+@settings(max_examples=40, deadline=None)
+def test_larger_b_never_increases_rbma_routing_cost_much(pairs, alpha):
+    """More optical switches can only help routing cost (up to randomness);
+    we allow a small tolerance because R-BMA is randomized."""
+    requests = [Request(u, v) for u, v in pairs]
+    costs = []
+    for b in (1, 4):
+        algo = RBMA(TOPOLOGY, MatchingConfig(b=b, alpha=alpha), rng=5)
+        algo.serve_all(requests)
+        costs.append(algo.total_routing_cost)
+    assert costs[1] <= costs[0] + 4.0  # slack of two matched requests' worth
+
+
+@given(pairs=request_sequences, b=b_values, alpha=alpha_values)
+@settings(max_examples=40, deadline=None)
+def test_reset_gives_identical_rerun(pairs, b, alpha):
+    config = MatchingConfig(b=b, alpha=alpha)
+    requests = [Request(u, v) for u, v in pairs]
+    for make in (lambda: BMA(TOPOLOGY, config), lambda: GreedyBMA(TOPOLOGY, config)):
+        algo = make()
+        algo.serve_all(requests)
+        first = algo.total_cost
+        algo.reset()
+        algo.serve_all(requests)
+        assert algo.total_cost == first

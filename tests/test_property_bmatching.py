@@ -1,0 +1,116 @@
+"""Property-based tests for the BMatching structure (hypothesis)."""
+
+from collections import defaultdict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.errors import DegreeConstraintError, MatchingError
+from repro.matching import BMatching, greedy_b_matching
+from repro.matching.validation import check_b_matching, degree_histogram
+
+N_NODES = 8
+B = 2
+
+
+pairs_strategy = st.tuples(
+    st.integers(min_value=0, max_value=N_NODES - 1),
+    st.integers(min_value=0, max_value=N_NODES - 1),
+).filter(lambda p: p[0] != p[1])
+
+
+class BMatchingMachine(RuleBasedStateMachine):
+    """Random add/remove/mark/prune sequences never break the invariants."""
+
+    def __init__(self):
+        super().__init__()
+        self.matching = BMatching(N_NODES, B)
+        self.model_edges: set = set()
+
+    @rule(pair=pairs_strategy)
+    def add_edge(self, pair):
+        u, v = pair
+        canonical = (min(u, v), max(u, v))
+        if canonical in self.model_edges:
+            with pytest.raises(MatchingError):
+                self.matching.add(u, v)
+            return
+        degrees = degree_histogram(self.model_edges, N_NODES)
+        if degrees[u] >= B or degrees[v] >= B:
+            with pytest.raises(DegreeConstraintError):
+                self.matching.add(u, v)
+            return
+        self.matching.add(u, v)
+        self.model_edges.add(canonical)
+
+    @rule(pair=pairs_strategy)
+    def remove_edge(self, pair):
+        u, v = pair
+        canonical = (min(u, v), max(u, v))
+        if canonical in self.model_edges:
+            self.matching.remove(u, v)
+            self.model_edges.discard(canonical)
+        else:
+            with pytest.raises(MatchingError):
+                self.matching.remove(u, v)
+
+    @rule(pair=pairs_strategy)
+    def mark_edge(self, pair):
+        u, v = pair
+        present = (min(u, v), max(u, v)) in self.model_edges
+        assert self.matching.mark_for_removal(u, v) == present
+
+    @rule(node=st.integers(min_value=0, max_value=N_NODES - 1))
+    def prune_if_possible(self, node):
+        marked_here = [p for p in self.matching.edges_at(node) if p in self.matching.marked_edges]
+        if self.matching.degree(node) >= B and not marked_here:
+            with pytest.raises(DegreeConstraintError):
+                self.matching.prune_to_capacity(node)
+        else:
+            removed = self.matching.prune_to_capacity(node)
+            for pair in removed:
+                self.model_edges.discard(pair)
+
+    @invariant()
+    def matches_model(self):
+        assert self.matching.edges == frozenset(self.model_edges)
+
+    @invariant()
+    def valid_b_matching(self):
+        check_b_matching(self.matching.edges, N_NODES, B)
+
+    @invariant()
+    def degrees_consistent(self):
+        expected = degree_histogram(self.model_edges, N_NODES)
+        for node in range(N_NODES):
+            assert self.matching.degree(node) == expected[node]
+
+    @invariant()
+    def marks_subset_of_edges(self):
+        assert self.matching.marked_edges <= self.matching.edges
+
+
+TestBMatchingStateMachine = BMatchingMachine.TestCase
+TestBMatchingStateMachine.settings = settings(max_examples=40, stateful_step_count=30,
+                                              deadline=None)
+
+
+@given(
+    weights=st.dictionaries(
+        keys=pairs_strategy.map(lambda p: (min(p), max(p))),
+        values=st.floats(min_value=0.1, max_value=100, allow_nan=False),
+        max_size=20,
+    ),
+    b=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=80, deadline=None)
+def test_greedy_b_matching_always_feasible(weights, b):
+    chosen = greedy_b_matching(weights, N_NODES, b)
+    check_b_matching(chosen, N_NODES, b)
+    # Maximality: no remaining pair could still be added.
+    degrees = degree_histogram(chosen, N_NODES)
+    for (u, v), w in weights.items():
+        if (u, v) not in chosen and w > 0:
+            assert degrees[u] >= b or degrees[v] >= b

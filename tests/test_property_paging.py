@@ -1,0 +1,87 @@
+"""Property-based tests for the paging algorithms (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paging import (
+    BeladyPaging,
+    FIFOPaging,
+    LFUPaging,
+    LRUPaging,
+    RandomizedMarking,
+    offline_paging_cost,
+    partition_into_phases,
+)
+
+page_sequences = st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=120)
+capacities = st.integers(min_value=1, max_value=6)
+
+
+def _all_policies(capacity):
+    return [
+        LRUPaging(capacity),
+        FIFOPaging(capacity),
+        LFUPaging(capacity),
+        RandomizedMarking(capacity, rng=0),
+    ]
+
+
+@given(sequence=page_sequences, capacity=capacities)
+@settings(max_examples=100, deadline=None)
+def test_capacity_never_exceeded_and_request_always_cached(sequence, capacity):
+    for algo in _all_policies(capacity):
+        for page in sequence:
+            algo.request(page)
+            assert len(algo) <= capacity
+            assert page in algo
+
+
+@given(sequence=page_sequences, capacity=capacities)
+@settings(max_examples=100, deadline=None)
+def test_miss_count_bounds(sequence, capacity):
+    """Misses are at least the number of distinct pages (compulsory misses,
+    since the cache starts empty), at most the sequence length, and never
+    below Belady's offline optimum."""
+    distinct = len(set(sequence))
+    opt = offline_paging_cost(sequence, capacity)
+    assert opt >= distinct  # every distinct page faults at least once
+    for algo in _all_policies(capacity):
+        misses = algo.serve_sequence(sequence)
+        assert distinct <= misses <= len(sequence)
+        assert misses >= opt
+
+
+@given(sequence=page_sequences, capacity=capacities)
+@settings(max_examples=60, deadline=None)
+def test_phase_lower_bound_consistent_with_belady(sequence, capacity):
+    part = partition_into_phases(sequence, capacity)
+    assert offline_paging_cost(sequence, capacity) >= part.opt_lower_bound()
+
+
+@given(sequence=page_sequences, capacity=capacities, seed=st.integers(0, 100))
+@settings(max_examples=60, deadline=None)
+def test_marking_stats_consistent(sequence, capacity, seed):
+    algo = RandomizedMarking(capacity, rng=seed)
+    misses = algo.serve_sequence(sequence)
+    assert algo.stats.requests == len(sequence)
+    assert algo.stats.misses == misses
+    assert algo.stats.hits == len(sequence) - misses
+    assert algo.stats.evictions <= algo.stats.misses
+    # Marked pages are always a subset of the cache.
+    assert algo.marked_pages <= algo.cache
+
+
+@given(sequence=page_sequences, capacity=capacities)
+@settings(max_examples=60, deadline=None)
+def test_belady_deterministic_and_replayable(sequence, capacity):
+    a = BeladyPaging(capacity, sequence).serve_sequence(sequence)
+    b = BeladyPaging(capacity, sequence).serve_sequence(sequence)
+    assert a == b
+
+
+@given(sequence=page_sequences)
+@settings(max_examples=60, deadline=None)
+def test_larger_cache_never_hurts_belady(sequence):
+    costs = [offline_paging_cost(sequence, k) for k in (1, 2, 3, 5, 8)]
+    assert costs == sorted(costs, reverse=True)

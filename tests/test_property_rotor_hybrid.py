@@ -1,0 +1,71 @@
+"""Property-based tests for the rotor schedule and the extension algorithms."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import MatchingConfig
+from repro.core import HybridBMA, PredictiveBMA, RotorBMA, round_robin_schedule
+from repro.matching.validation import check_b_matching
+from repro.topology import LeafSpineTopology
+from repro.types import Request, canonical_pair
+
+N_NODES = 8
+TOPOLOGY = LeafSpineTopology(n_racks=N_NODES)
+
+request_sequences = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=N_NODES - 1),
+        st.integers(min_value=0, max_value=N_NODES - 1),
+    ).filter(lambda p: p[0] != p[1]),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(n=st.integers(min_value=2, max_value=20))
+@settings(max_examples=40, deadline=None)
+def test_round_robin_schedule_is_a_partition_of_all_pairs(n):
+    schedule = round_robin_schedule(n)
+    all_slot_pairs = [pair for slot in schedule for pair in slot]
+    expected = {canonical_pair(u, v) for u in range(n) for v in range(u + 1, n)}
+    assert len(all_slot_pairs) == len(set(all_slot_pairs))
+    assert set(all_slot_pairs) == expected
+    for slot in schedule:
+        endpoints = [x for pair in slot for x in pair]
+        assert len(endpoints) == len(set(endpoints))
+
+
+@given(pairs=request_sequences, b=st.integers(min_value=1, max_value=4),
+       period=st.integers(min_value=1, max_value=20))
+@settings(max_examples=40, deadline=None)
+def test_rotor_always_feasible_and_consistent(pairs, b, period):
+    config = MatchingConfig(b=b, alpha=2.0)
+    algo = RotorBMA(TOPOLOGY, config, period=period)
+    for u, v in pairs:
+        algo.serve(Request(u, v))
+        check_b_matching(algo.matching.edges, N_NODES, b)
+        assert len(algo.installed_slots) == min(b, algo.n_slots)
+
+
+@given(pairs=request_sequences, b=st.integers(min_value=1, max_value=3))
+@settings(max_examples=25, deadline=None)
+def test_extension_algorithms_always_feasible(pairs, b):
+    config = MatchingConfig(b=b, alpha=2.0)
+    for algo in (
+        PredictiveBMA(TOPOLOGY, config, period=10, window=30),
+        HybridBMA(TOPOLOGY, config, rng=0, period=10, window=30),
+    ):
+        for u, v in pairs:
+            algo.serve(Request(u, v))
+            check_b_matching(algo.matching.edges, N_NODES, b)
+
+
+@given(pairs=request_sequences, b=st.integers(min_value=1, max_value=3))
+@settings(max_examples=25, deadline=None)
+def test_hybrid_cost_accounting_matches_matching_counters(pairs, b):
+    config = MatchingConfig(b=b, alpha=3.0)
+    algo = HybridBMA(TOPOLOGY, config, rng=1, period=15, window=40)
+    for u, v in pairs:
+        algo.serve(Request(u, v))
+    changes = algo.matching.additions + algo.matching.removals
+    assert algo.total_reconfiguration_cost == changes * 3.0

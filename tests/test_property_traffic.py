@@ -1,0 +1,83 @@
+"""Property-based tests for traffic generation (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic import (
+    Trace,
+    TrafficMatrix,
+    compute_trace_statistics,
+    database_trace,
+    hadoop_trace,
+    microsoft_trace,
+    uniform_random_trace,
+    web_service_trace,
+    zipf_pair_trace,
+)
+
+node_counts = st.integers(min_value=4, max_value=24)
+request_counts = st.integers(min_value=1, max_value=400)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@given(n_nodes=node_counts, n_requests=request_counts, seed=seeds)
+@settings(max_examples=40, deadline=None)
+def test_generators_produce_valid_traces(n_nodes, n_requests, seed):
+    for generator in (uniform_random_trace, zipf_pair_trace):
+        trace = generator(n_nodes=n_nodes, n_requests=n_requests, seed=seed)
+        assert len(trace) == n_requests
+        assert trace.n_nodes == n_nodes
+        assert np.all(trace.sources != trace.destinations)
+        assert trace.sources.max(initial=0) < n_nodes
+        assert trace.destinations.max(initial=0) < n_nodes
+
+
+@given(n_nodes=st.integers(min_value=8, max_value=30),
+       n_requests=st.integers(min_value=50, max_value=500), seed=seeds)
+@settings(max_examples=20, deadline=None)
+def test_paper_workloads_produce_valid_traces(n_nodes, n_requests, seed):
+    for generator in (database_trace, web_service_trace, hadoop_trace, microsoft_trace):
+        trace = generator(n_nodes=n_nodes, n_requests=n_requests, seed=seed)
+        assert len(trace) == n_requests
+        assert np.all(trace.sources != trace.destinations)
+        assert int(max(trace.sources.max(), trace.destinations.max())) < n_nodes
+
+
+@given(n_nodes=node_counts, seed=seeds)
+@settings(max_examples=30, deadline=None)
+def test_traffic_matrix_probabilities_well_formed(n_nodes, seed):
+    rng = np.random.default_rng(seed)
+    raw = rng.random((n_nodes, n_nodes))
+    matrix = TrafficMatrix(raw)
+    m = matrix.matrix
+    assert np.all(m >= 0)
+    assert np.all(np.diag(m) == 0)
+    assert m.sum() == np.float64(1.0) or abs(m.sum() - 1.0) < 1e-9
+    total_pair_prob = sum(
+        matrix.pair_probability(u, v) for u in range(n_nodes) for v in range(u + 1, n_nodes)
+    )
+    assert abs(total_pair_prob - 1.0) < 1e-6
+
+
+@given(n_nodes=node_counts, n_requests=st.integers(min_value=20, max_value=300), seed=seeds)
+@settings(max_examples=30, deadline=None)
+def test_statistics_are_well_defined(n_nodes, n_requests, seed):
+    trace = zipf_pair_trace(n_nodes=n_nodes, n_requests=n_requests, seed=seed)
+    stats = compute_trace_statistics(trace)
+    assert 0.0 <= stats.rereference_rate <= 1.0
+    assert 0.0 < stats.top1pct_share <= 1.0
+    assert stats.top1pct_share <= stats.top10pct_share + 1e-9
+    assert 0.0 <= stats.normalized_entropy <= 1.0 + 1e-9
+    assert stats.n_distinct_pairs <= n_nodes * (n_nodes - 1) // 2
+
+
+@given(n_nodes=node_counts, n_requests=request_counts, seed=seeds)
+@settings(max_examples=30, deadline=None)
+def test_slicing_and_concatenation_preserve_requests(n_nodes, n_requests, seed):
+    trace = uniform_random_trace(n_nodes=n_nodes, n_requests=n_requests, seed=seed)
+    half = n_requests // 2
+    left, right = trace[:half], trace[half:]
+    rebuilt = left.concatenate(right)
+    np.testing.assert_array_equal(rebuilt.sources, trace.sources)
+    np.testing.assert_array_equal(rebuilt.destinations, trace.destinations)

@@ -1,0 +1,97 @@
+"""Regression pins: exact costs of deterministic algorithms on fixed scenarios.
+
+These tests pin the behaviour of the *deterministic* algorithms (BMA, Greedy,
+SO-BMA, Oblivious, Rotor) on small hand-checkable scenarios.  They are not
+derived from the paper; they protect the implementation against accidental
+behavioural drift (e.g. a refactor changing an eviction tie-break) that the
+property tests would not notice because the result would still be feasible.
+"""
+
+import pytest
+
+from repro.config import MatchingConfig
+from repro.core import BMA, GreedyBMA, ObliviousRouting, RotorBMA, StaticOfflineBMA
+from repro.topology import LeafSpineTopology
+from repro.types import Request, as_requests
+
+
+@pytest.fixture
+def topo():
+    return LeafSpineTopology(n_racks=6)  # all pair distances are 2
+
+
+#: A fixed scenario: two hot pairs sharing node 0, one cold pair.
+SCENARIO = [(0, 1)] * 4 + [(0, 2)] * 4 + [(3, 4)] * 2 + [(0, 1)] * 2 + [(0, 2)] * 2
+
+
+class TestObliviousPin:
+    def test_exact_cost(self, topo):
+        algo = ObliviousRouting(topo, MatchingConfig(b=1, alpha=4))
+        algo.serve_all(as_requests(SCENARIO))
+        assert algo.total_routing_cost == 2.0 * len(SCENARIO)
+        assert algo.total_reconfiguration_cost == 0.0
+
+
+class TestBMAPin:
+    def test_exact_trace_of_behaviour(self, topo):
+        """alpha=4, lengths 2: a pair saturates on its 2nd unmatched request."""
+        algo = BMA(topo, MatchingConfig(b=1, alpha=4))
+        algo.serve_all(as_requests(SCENARIO))
+        # Hand-derived: (0,1) enters after request 2; requests 3-4 matched.
+        # (0,2) pays 2+2, saturates at request 6, evicting (0,1), then
+        # requests 7-8 are matched.  (3,4) enters after request 10.  (0,1)
+        # pays 2+2 again and re-enters at request 12, evicting (0,2); (0,2)
+        # pays 2+2 and re-enters at request 14, evicting the freshly added
+        # (0,1) (usefulness 0).  In total 5 additions and 3 removals.
+        assert algo.matching.additions == 5
+        assert algo.matching.removals == 3
+        assert algo.total_reconfiguration_cost == pytest.approx(8 * 4.0)
+        assert algo.total_routing_cost == pytest.approx(2 * 10 + 1 * 4)
+        assert (0, 2) in algo.matching and (3, 4) in algo.matching
+
+    def test_deterministic_repetition(self, topo):
+        costs = set()
+        for _ in range(3):
+            algo = BMA(topo, MatchingConfig(b=1, alpha=4))
+            algo.serve_all(as_requests(SCENARIO))
+            costs.add(algo.total_cost)
+        assert len(costs) == 1
+
+
+class TestGreedyPin:
+    def test_exact_cost(self, topo):
+        """Greedy (threshold alpha=4) adds a pair after it paid 4 and never evicts."""
+        algo = GreedyBMA(topo, MatchingConfig(b=1, alpha=4))
+        algo.serve_all(as_requests(SCENARIO))
+        # (0,1) enters after 2 requests and stays; (0,2) can never enter
+        # (node 0 full); (3,4) enters after 2 requests.
+        assert set(algo.matching.edges) == {(0, 1), (3, 4)}
+        assert algo.matching.additions == 2
+        assert algo.matching.removals == 0
+        # Routing: (0,1): 2+2 then 4 matched at 1 -> 8; (0,2): 6 unmatched at 2 -> 12;
+        # (3,4): 2+2 then 0 more unmatched... requests 9-10 are its only ones: 2+2=4.
+        assert algo.total_routing_cost == pytest.approx((2 + 2 + 1 + 1) + (6 * 2) + (2 + 2) + (1 + 1) * 0 + 2 * 1)
+
+
+class TestStaticOfflinePin:
+    def test_chooses_heaviest_pairs(self, topo):
+        algo = StaticOfflineBMA(topo, MatchingConfig(b=1, alpha=4))
+        algo.serve_all(as_requests(SCENARIO))
+        # Aggregate savings: (0,1) and (0,2) each 6 requests, (3,4) 2 requests;
+        # with b=1 only one of the node-0 pairs fits, plus (3,4).
+        edges = set(algo.matching.edges)
+        assert (3, 4) in edges
+        assert len(edges & {(0, 1), (0, 2)}) == 1
+        assert algo.matched_fraction == pytest.approx(8 / 14)
+
+
+class TestRotorPin:
+    def test_schedule_and_costs(self, topo):
+        algo = RotorBMA(topo, MatchingConfig(b=1, alpha=4), period=5)
+        algo.serve_all(as_requests(SCENARIO))
+        # 14 requests with period 5 -> 2 rotations; each rotation swaps one
+        # slot of 3 edges out and 3 edges in.
+        assert algo.matching.additions == 6
+        assert algo.matching.removals == 6
+        assert algo.total_reconfiguration_cost == pytest.approx(12 * 4.0)
+        assert len(algo.installed_slots) == 1

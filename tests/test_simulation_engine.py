@@ -1,0 +1,128 @@
+"""Tests for the simulation engine and the Timer."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import MatchingConfig, SimulationConfig
+from repro.core import BMA, RBMA, ObliviousRouting, StaticOfflineBMA
+from repro.errors import SimulationError
+from repro.simulation import Timer, run_simulation
+from repro.traffic import uniform_random_trace, zipf_pair_trace
+
+
+class TestTimer:
+    def test_accumulates(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.01)
+        first = timer.elapsed
+        with timer:
+            time.sleep(0.01)
+        assert timer.elapsed > first
+
+    def test_start_twice_rejected(self):
+        timer = Timer()
+        timer.start()
+        with pytest.raises(RuntimeError):
+            timer.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.reset()
+        assert timer.elapsed == 0.0
+        assert not timer.running
+
+    def test_elapsed_while_running(self):
+        timer = Timer()
+        timer.start()
+        assert timer.running
+        assert timer.elapsed >= 0.0
+        timer.stop()
+
+
+class TestRunSimulation:
+    def test_result_metadata(self, small_fattree, fb_like_trace):
+        algo = RBMA(small_fattree, MatchingConfig(b=3, alpha=8), rng=0)
+        result = run_simulation(algo, fb_like_trace, SimulationConfig(checkpoints=10, seed=4))
+        assert result.algorithm == "rbma"
+        assert result.workload == "facebook-database"
+        assert result.b == 3
+        assert result.alpha == 8
+        assert result.n_requests == len(fb_like_trace)
+        assert result.seed == 4
+
+    def test_series_monotone_and_consistent(self, small_fattree, fb_like_trace):
+        algo = RBMA(small_fattree, MatchingConfig(b=3, alpha=8), rng=0)
+        result = run_simulation(algo, fb_like_trace, SimulationConfig(checkpoints=10))
+        series = result.series
+        assert np.all(np.diff(series.requests) > 0)
+        assert np.all(np.diff(series.routing_cost) >= 0)
+        assert np.all(np.diff(series.reconfiguration_cost) >= 0)
+        assert np.all(np.diff(series.elapsed_seconds) >= 0)
+        assert series.requests[-1] == len(fb_like_trace)
+        assert series.routing_cost[-1] == pytest.approx(result.total_routing_cost)
+
+    def test_checkpoint_count(self, small_fattree, fb_like_trace):
+        algo = ObliviousRouting(small_fattree, MatchingConfig(b=2, alpha=4))
+        result = run_simulation(algo, fb_like_trace, SimulationConfig(checkpoints=7))
+        assert len(result.series.requests) == 7
+
+    def test_more_checkpoints_than_requests(self, small_leafspine):
+        trace = uniform_random_trace(n_nodes=8, n_requests=5, seed=0)
+        algo = ObliviousRouting(small_leafspine, MatchingConfig(b=2, alpha=4))
+        result = run_simulation(algo, trace, SimulationConfig(checkpoints=50))
+        assert len(result.series.requests) <= 5
+
+    def test_offline_algorithm_is_fitted(self, small_fattree, fb_like_trace):
+        algo = StaticOfflineBMA(small_fattree, MatchingConfig(b=3, alpha=8))
+        result = run_simulation(algo, fb_like_trace)
+        assert algo.fitted
+        assert result.matched_fraction > 0.0
+
+    def test_validate_flag(self, small_fattree, fb_like_trace):
+        algo = BMA(small_fattree, MatchingConfig(b=2, alpha=8))
+        run_simulation(algo, fb_like_trace, validate=True)
+
+    def test_rejects_reused_algorithm(self, small_fattree, fb_like_trace):
+        algo = RBMA(small_fattree, MatchingConfig(b=2, alpha=8), rng=0)
+        run_simulation(algo, fb_like_trace)
+        with pytest.raises(SimulationError):
+            run_simulation(algo, fb_like_trace)
+        algo.reset()
+        run_simulation(algo, fb_like_trace)  # fine after reset
+
+    def test_rejects_oversized_trace(self, small_leafspine):
+        trace = uniform_random_trace(n_nodes=20, n_requests=10, seed=0)
+        algo = ObliviousRouting(small_leafspine, MatchingConfig(b=2, alpha=4))
+        with pytest.raises(SimulationError):
+            run_simulation(algo, trace)
+
+    def test_empty_trace_rejected(self, small_leafspine):
+        trace = uniform_random_trace(n_nodes=8, n_requests=0, seed=0)
+        algo = ObliviousRouting(small_leafspine, MatchingConfig(b=2, alpha=4))
+        with pytest.raises(SimulationError):
+            run_simulation(algo, trace)
+
+    def test_matching_history_collection(self, small_leafspine):
+        trace = zipf_pair_trace(n_nodes=8, n_requests=50, seed=1)
+        algo = RBMA(small_leafspine, MatchingConfig(b=2, alpha=2), rng=0)
+        result = run_simulation(
+            algo, trace, SimulationConfig(checkpoints=5, collect_matching_history=True)
+        )
+        history = result.extra["matching_history"]
+        assert len(history) == 50
+        assert all(isinstance(h, frozenset) for h in history)
+
+    def test_oblivious_cost_matches_trace_lengths(self, small_leafspine, uniform_trace):
+        algo = ObliviousRouting(small_leafspine, MatchingConfig(b=2, alpha=4))
+        result = run_simulation(algo, uniform_trace)
+        assert result.total_routing_cost == pytest.approx(2.0 * len(uniform_trace))
+        assert result.total_reconfiguration_cost == 0.0

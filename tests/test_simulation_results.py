@@ -1,0 +1,115 @@
+"""Tests for result containers, aggregation and serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.config import MatchingConfig, SimulationConfig
+from repro.core import RBMA
+from repro.errors import SimulationError
+from repro.simulation import CheckpointSeries, RunResult, aggregate_runs, run_simulation
+from repro.traffic import zipf_pair_trace
+
+
+def _series(values):
+    n = len(values)
+    return CheckpointSeries(
+        requests=np.arange(1, n + 1, dtype=np.int64),
+        routing_cost=np.asarray(values, dtype=float),
+        reconfiguration_cost=np.zeros(n),
+        elapsed_seconds=np.linspace(0.1, 0.5, n),
+        matched_fraction=np.linspace(0, 1, n),
+    )
+
+
+def _result(algorithm="rbma", b=2, routing=10.0, seed=0):
+    series = _series([routing / 2, routing])
+    return RunResult(
+        algorithm=algorithm,
+        workload="w",
+        topology="t",
+        b=b,
+        alpha=4.0,
+        n_requests=2,
+        seed=seed,
+        series=series,
+        total_routing_cost=routing,
+        total_reconfiguration_cost=1.0,
+        total_elapsed_seconds=0.5,
+        matched_fraction=0.5,
+    )
+
+
+class TestCheckpointSeries:
+    def test_total_cost(self):
+        series = _series([1.0, 2.0])
+        np.testing.assert_allclose(series.total_cost, [1.0, 2.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SimulationError):
+            CheckpointSeries(
+                requests=np.array([1, 2]),
+                routing_cost=np.array([1.0]),
+                reconfiguration_cost=np.array([0.0, 0.0]),
+                elapsed_seconds=np.array([0.0, 0.1]),
+                matched_fraction=np.array([0.0, 0.1]),
+            )
+
+    def test_dict_round_trip(self):
+        series = _series([1.0, 3.0, 5.0])
+        restored = CheckpointSeries.from_dict(series.to_dict())
+        np.testing.assert_allclose(restored.routing_cost, series.routing_cost)
+        np.testing.assert_array_equal(restored.requests, series.requests)
+
+
+class TestRunResult:
+    def test_total_cost(self):
+        assert _result(routing=10.0).total_cost == pytest.approx(11.0)
+
+    def test_json_round_trip(self, tmp_path):
+        result = _result()
+        path = tmp_path / "result.json"
+        result.save_json(path)
+        loaded = RunResult.load_json(path)
+        assert loaded.algorithm == result.algorithm
+        assert loaded.total_routing_cost == result.total_routing_cost
+        np.testing.assert_allclose(loaded.series.routing_cost, result.series.routing_cost)
+
+    def test_from_real_simulation_serialisable(self, small_leafspine, tmp_path):
+        trace = zipf_pair_trace(n_nodes=8, n_requests=100, seed=0)
+        algo = RBMA(small_leafspine, MatchingConfig(b=2, alpha=4), rng=0)
+        result = run_simulation(algo, trace, SimulationConfig(checkpoints=5))
+        path = tmp_path / "run.json"
+        result.save_json(path)
+        assert RunResult.load_json(path).n_requests == 100
+
+
+class TestAggregateRuns:
+    def test_mean_of_finals(self):
+        agg = aggregate_runs([_result(routing=10.0, seed=0), _result(routing=20.0, seed=1)])
+        assert agg.routing_cost_mean == pytest.approx(15.0)
+        assert agg.repetitions == 2
+        assert agg.routing_cost_std == pytest.approx(5.0)
+
+    def test_series_averaged(self):
+        agg = aggregate_runs([_result(routing=10.0), _result(routing=30.0)])
+        np.testing.assert_allclose(agg.series.routing_cost, [10.0, 20.0])
+
+    def test_label(self):
+        agg = aggregate_runs([_result(b=12)])
+        assert agg.label == "rbma (b: 12)"
+
+    def test_mixed_configs_rejected(self):
+        with pytest.raises(SimulationError):
+            aggregate_runs([_result(b=2), _result(b=4)])
+        with pytest.raises(SimulationError):
+            aggregate_runs([_result(algorithm="rbma"), _result(algorithm="bma")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            aggregate_runs([])
+
+    def test_to_dict(self):
+        agg = aggregate_runs([_result()])
+        d = agg.to_dict()
+        assert d["algorithm"] == "rbma"
+        assert "series" in d

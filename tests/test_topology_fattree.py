@@ -1,0 +1,68 @@
+"""Tests for the fat-tree topology (the paper's evaluation fabric)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import FatTreeTopology
+
+
+class TestFatTreeConstruction:
+    def test_explicit_k(self):
+        topo = FatTreeTopology(k=4)
+        # k=4 fat tree: 8 ToR switches.
+        assert topo.n_racks == 8
+        assert topo.k == 4
+
+    def test_n_racks_picks_smallest_k(self):
+        topo = FatTreeTopology(n_racks=100)
+        assert topo.n_racks == 100
+        assert topo.k == 16  # smallest even k with k^2/2 >= 100 is 16 (128 ToRs)
+
+    def test_n_racks_50(self):
+        topo = FatTreeTopology(n_racks=50)
+        assert topo.n_racks == 50
+        assert topo.k == 10  # 10^2/2 = 50
+
+    def test_rejects_odd_k(self):
+        with pytest.raises(TopologyError):
+            FatTreeTopology(k=5)
+
+    def test_rejects_too_many_racks_for_k(self):
+        with pytest.raises(TopologyError):
+            FatTreeTopology(n_racks=9, k=4)
+
+    def test_requires_some_argument(self):
+        with pytest.raises(TopologyError):
+            FatTreeTopology()
+
+    def test_rejects_single_rack(self):
+        with pytest.raises(TopologyError):
+            FatTreeTopology(n_racks=1)
+
+
+class TestFatTreeDistances:
+    def test_same_pod_distance_two(self):
+        topo = FatTreeTopology(k=4)
+        # Racks 0 and 1 are the two edge switches of pod 0.
+        assert topo.pod_of(0) == topo.pod_of(1)
+        assert topo.distance(0, 1) == 2
+
+    def test_cross_pod_distance_four(self):
+        topo = FatTreeTopology(k=4)
+        u, v = 0, topo.n_racks - 1
+        assert topo.pod_of(u) != topo.pod_of(v)
+        assert topo.distance(u, v) == 4
+
+    def test_distance_values_only_two_or_four(self):
+        topo = FatTreeTopology(k=6)
+        values = {topo.distance(u, v) for u, v in topo.all_pairs()}
+        assert values == {2.0, 4.0}
+
+    def test_max_distance(self):
+        topo = FatTreeTopology(n_racks=20)
+        assert topo.max_distance() == 4
+
+    def test_pod_of_consistent_with_k(self):
+        topo = FatTreeTopology(k=4)
+        pods = {topo.pod_of(r) for r in range(topo.n_racks)}
+        assert pods == set(range(4))

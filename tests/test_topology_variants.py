@@ -1,0 +1,146 @@
+"""Tests for the non-fat-tree topologies and the registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.topology import (
+    ExpanderTopology,
+    HypercubeTopology,
+    LeafSpineTopology,
+    RingTopology,
+    StarTopology,
+    TorusTopology,
+    available_topologies,
+    make_topology,
+)
+
+
+class TestLeafSpine:
+    def test_all_distances_two(self):
+        topo = LeafSpineTopology(n_racks=10, n_spines=3)
+        assert {topo.distance(u, v) for u, v in topo.all_pairs()} == {2.0}
+
+    def test_spine_count_does_not_change_distances(self):
+        a = LeafSpineTopology(n_racks=6, n_spines=1)
+        b = LeafSpineTopology(n_racks=6, n_spines=8)
+        assert a.max_distance() == b.max_distance() == 2
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(TopologyError):
+            LeafSpineTopology(n_racks=1)
+        with pytest.raises(TopologyError):
+            LeafSpineTopology(n_racks=4, n_spines=0)
+
+
+class TestStar:
+    def test_leaf_only_distances(self):
+        topo = StarTopology(n_racks=5)
+        assert {topo.distance(u, v) for u, v in topo.all_pairs()} == {2.0}
+
+    def test_hub_as_rack_distances(self):
+        topo = StarTopology(n_racks=5, hub_is_rack=True)
+        assert topo.n_racks == 6
+        # Rack 0 is the hub: hub-leaf distance is 1, leaf-leaf is 2.
+        assert topo.distance(0, 3) == 1
+        assert topo.distance(1, 2) == 2
+
+    def test_rejects_too_small(self):
+        with pytest.raises(TopologyError):
+            StarTopology(n_racks=1)
+
+
+class TestRing:
+    def test_distances_wrap_around(self):
+        topo = RingTopology(n_racks=6)
+        assert topo.distance(0, 1) == 1
+        assert topo.distance(0, 3) == 3
+        assert topo.distance(0, 5) == 1
+
+    def test_diameter(self):
+        assert RingTopology(n_racks=8).max_distance() == 4
+
+    def test_rejects_too_small(self):
+        with pytest.raises(TopologyError):
+            RingTopology(n_racks=2)
+
+
+class TestTorus:
+    def test_manhattan_with_wraparound(self):
+        topo = TorusTopology(rows=4, cols=4)
+        assert topo.n_racks == 16
+        # (0,0) to (2,2): 2 + 2 = 4
+        r = topo.rack_nodes.index((0, 0))
+        s = topo.rack_nodes.index((2, 2))
+        assert topo.distance(r, s) == 4
+        # (0,0) to (3,0): wraps around to distance 1
+        t = topo.rack_nodes.index((3, 0))
+        assert topo.distance(r, t) == 1
+
+    def test_coordinates_roundtrip(self):
+        topo = TorusTopology(rows=3, cols=2)
+        for rack in range(topo.n_racks):
+            assert topo.rack_nodes[rack] == topo.coordinates(rack)
+
+    def test_rejects_thin_torus(self):
+        with pytest.raises(TopologyError):
+            TorusTopology(rows=1, cols=5)
+
+
+class TestHypercube:
+    def test_size_and_diameter(self):
+        topo = HypercubeTopology(dimension=4)
+        assert topo.n_racks == 16
+        assert topo.max_distance() == 4
+
+    def test_hamming_distance(self):
+        topo = HypercubeTopology(dimension=3)
+        # Nodes are bit tuples sorted lexicographically: 0 = (0,0,0), 7 = (1,1,1).
+        assert topo.distance(0, topo.n_racks - 1) == 3
+
+    def test_rejects_bad_dimension(self):
+        with pytest.raises(TopologyError):
+            HypercubeTopology(dimension=0)
+        with pytest.raises(TopologyError):
+            HypercubeTopology(dimension=20)
+
+
+class TestExpander:
+    def test_regular_degree(self):
+        topo = ExpanderTopology(n_racks=20, degree=4, seed=1)
+        assert all(d == 4 for _n, d in topo.graph.degree())
+
+    def test_connected_and_small_diameter(self):
+        topo = ExpanderTopology(n_racks=30, degree=4, seed=2)
+        assert topo.max_distance() <= 5
+
+    def test_reproducible_with_seed(self):
+        a = ExpanderTopology(n_racks=16, degree=3, seed=7)
+        b = ExpanderTopology(n_racks=16, degree=3, seed=7)
+        assert (a.distance_matrix == b.distance_matrix).all()
+
+    def test_rejects_odd_product(self):
+        with pytest.raises(TopologyError):
+            ExpanderTopology(n_racks=7, degree=3)
+
+    def test_rejects_degree_too_large(self):
+        with pytest.raises(TopologyError):
+            ExpanderTopology(n_racks=5, degree=5)
+
+
+class TestRegistry:
+    def test_lists_known_names(self):
+        names = available_topologies()
+        for expected in ("fat-tree", "leaf-spine", "star", "ring", "torus", "hypercube", "expander"):
+            assert expected in names
+
+    def test_make_topology(self):
+        topo = make_topology("leaf-spine", n_racks=6)
+        assert topo.n_racks == 6
+
+    def test_make_topology_case_insensitive(self):
+        topo = make_topology("Fat-Tree", n_racks=8)
+        assert topo.n_racks == 8
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_topology("does-not-exist", n_racks=4)

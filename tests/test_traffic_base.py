@@ -1,0 +1,102 @@
+"""Tests for the Trace container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrafficError
+from repro.traffic import Trace, TraceMetadata
+from repro.types import Request
+
+
+def _make_trace():
+    meta = TraceMetadata(name="t", n_nodes=5, seed=1, params={"x": 1})
+    return Trace([0, 1, 2, 3], [1, 2, 3, 4], meta)
+
+
+class TestConstruction:
+    def test_basic(self):
+        trace = _make_trace()
+        assert len(trace) == 4
+        assert trace.n_nodes == 5
+        assert trace.name == "t"
+
+    def test_length_mismatch_rejected(self):
+        meta = TraceMetadata(name="t", n_nodes=5)
+        with pytest.raises(TrafficError):
+            Trace([0, 1], [1], meta)
+
+    def test_out_of_range_rejected(self):
+        meta = TraceMetadata(name="t", n_nodes=3)
+        with pytest.raises(TrafficError):
+            Trace([0, 5], [1, 2], meta)
+
+    def test_negative_rejected(self):
+        meta = TraceMetadata(name="t", n_nodes=3)
+        with pytest.raises(TrafficError):
+            Trace([0, -1], [1, 2], meta)
+
+    def test_self_loops_rejected(self):
+        meta = TraceMetadata(name="t", n_nodes=3)
+        with pytest.raises(TrafficError):
+            Trace([0, 1], [1, 1], meta)
+
+    def test_from_pairs(self):
+        trace = Trace.from_pairs([(0, 1), (2, 3)], n_nodes=4, name="p", seed=7)
+        assert len(trace) == 2
+        assert trace.metadata.seed == 7
+
+    def test_from_requests(self):
+        trace = Trace.from_requests([Request(0, 1), Request(3, 2)], n_nodes=4)
+        assert list(trace.pairs()) == [(0, 1), (2, 3)]
+
+
+class TestAccess:
+    def test_iteration_yields_requests(self):
+        trace = _make_trace()
+        requests = list(trace)
+        assert all(isinstance(r, Request) for r in requests)
+        assert [(r.src, r.dst) for r in requests] == [(0, 1), (1, 2), (2, 3), (3, 4)]
+        assert [r.timestamp for r in requests] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_getitem_single(self):
+        trace = _make_trace()
+        r = trace[2]
+        assert (r.src, r.dst) == (2, 3)
+
+    def test_getitem_slice_returns_trace(self):
+        trace = _make_trace()
+        sub = trace[1:3]
+        assert isinstance(sub, Trace)
+        assert len(sub) == 2
+        assert list(sub.pairs()) == [(1, 2), (2, 3)]
+
+    def test_prefix(self):
+        trace = _make_trace()
+        assert len(trace.prefix(2)) == 2
+        with pytest.raises(TrafficError):
+            trace.prefix(-1)
+
+    def test_pair_counts(self):
+        trace = Trace.from_pairs([(0, 1), (1, 0), (2, 3)], n_nodes=4)
+        counts = trace.pair_counts()
+        assert counts[(0, 1)] == 2
+        assert counts[(2, 3)] == 1
+
+    def test_concatenate(self):
+        a = Trace.from_pairs([(0, 1)], n_nodes=4, name="a")
+        b = Trace.from_pairs([(2, 3)], n_nodes=4, name="b")
+        combined = a.concatenate(b)
+        assert len(combined) == 2
+        assert combined.name == "a+b"
+
+    def test_concatenate_mismatched_nodes_rejected(self):
+        a = Trace.from_pairs([(0, 1)], n_nodes=4)
+        b = Trace.from_pairs([(0, 1)], n_nodes=5)
+        with pytest.raises(TrafficError):
+            a.concatenate(b)
+
+    def test_sources_destinations_arrays(self):
+        trace = _make_trace()
+        assert isinstance(trace.sources, np.ndarray)
+        np.testing.assert_array_equal(trace.sources, [0, 1, 2, 3])
+        np.testing.assert_array_equal(trace.destinations, [1, 2, 3, 4])

@@ -1,0 +1,87 @@
+"""Tests for flow-level workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrafficError
+from repro.traffic import Flow, TrafficMatrix, flows_to_trace, generate_flows
+from repro.traffic.stats import compute_trace_statistics
+
+
+class TestGenerateFlows:
+    def test_basic_properties(self):
+        matrix = TrafficMatrix.uniform(10)
+        flows = generate_flows(matrix, n_flows=200, seed=0)
+        assert len(flows) == 200
+        assert all(f.size >= 1 for f in flows)
+        assert all(f.src != f.dst for f in flows)
+        starts = [f.start for f in flows]
+        assert starts == sorted(starts)
+
+    def test_elephants_increase_total_size(self):
+        matrix = TrafficMatrix.uniform(10)
+        mice_only = generate_flows(matrix, 500, elephant_fraction=0.0, seed=1)
+        with_elephants = generate_flows(matrix, 500, elephant_fraction=0.2,
+                                        elephant_multiplier=30.0, seed=1)
+        assert sum(f.size for f in with_elephants) > sum(f.size for f in mice_only)
+
+    def test_validation(self):
+        matrix = TrafficMatrix.uniform(4)
+        with pytest.raises(TrafficError):
+            generate_flows(matrix, -1)
+        with pytest.raises(TrafficError):
+            generate_flows(matrix, 10, elephant_fraction=1.5)
+        with pytest.raises(TrafficError):
+            generate_flows(matrix, 10, mean_flow_size=0.5)
+
+    def test_reproducible(self):
+        matrix = TrafficMatrix.uniform(8)
+        a = generate_flows(matrix, 50, seed=3)
+        b = generate_flows(matrix, 50, seed=3)
+        assert a == b
+
+
+class TestFlowsToTrace:
+    def _flows(self):
+        return [
+            Flow(0, 1, size=5, start=0.0),
+            Flow(2, 3, size=3, start=1.0),
+            Flow(1, 4, size=2, start=2.0),
+        ]
+
+    def test_request_count_is_total_size(self):
+        trace = flows_to_trace(self._flows(), n_nodes=6, seed=0)
+        assert len(trace) == 10
+
+    def test_sequential_mode_keeps_flows_contiguous(self):
+        trace = flows_to_trace(self._flows(), n_nodes=6, interleave=False)
+        pairs = list(trace.pairs())
+        assert pairs == [(0, 1)] * 5 + [(2, 3)] * 3 + [(1, 4)] * 2
+
+    def test_interleaved_mode_mixes_flows(self):
+        flows = [Flow(0, 1, size=50, start=0.0), Flow(2, 3, size=50, start=0.0)]
+        trace = flows_to_trace(flows, n_nodes=4, seed=1, interleave=True)
+        pairs = list(trace.pairs())
+        # Both flows appear in the first half: they are genuinely interleaved.
+        first_half = set(pairs[:50])
+        assert {(0, 1), (2, 3)} <= first_half
+
+    def test_interleave_respects_concurrency_admission(self):
+        flows = [Flow(0, 1, size=4, start=float(i)) for i in range(10)]
+        trace = flows_to_trace(flows, n_nodes=4, seed=0, concurrency=2)
+        assert len(trace) == 40
+
+    def test_burstiness_higher_without_interleaving(self):
+        matrix = TrafficMatrix.uniform(12)
+        flows = generate_flows(matrix, 150, mean_flow_size=30, seed=2)
+        seq = flows_to_trace(flows, 12, interleave=False)
+        mixed = flows_to_trace(flows, 12, seed=2, interleave=True)
+        seq_stats = compute_trace_statistics(seq, window=8)
+        mixed_stats = compute_trace_statistics(mixed, window=8)
+        assert seq_stats.rereference_rate >= mixed_stats.rereference_rate
+
+    def test_validation(self):
+        with pytest.raises(TrafficError):
+            flows_to_trace([], n_nodes=4)
+        with pytest.raises(TrafficError):
+            flows_to_trace(self._flows(), n_nodes=6, concurrency=0)

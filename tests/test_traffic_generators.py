@@ -1,0 +1,142 @@
+"""Tests for the synthetic, Facebook-like and Microsoft-like workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrafficError
+from repro.traffic import (
+    compute_trace_statistics,
+    database_trace,
+    hadoop_trace,
+    hotspot_trace,
+    microsoft_trace,
+    permutation_trace,
+    projector_style_matrix,
+    uniform_random_trace,
+    web_service_trace,
+    zipf_pair_trace,
+)
+
+
+class TestSyntheticGenerators:
+    def test_uniform_basic(self):
+        trace = uniform_random_trace(n_nodes=10, n_requests=500, seed=0)
+        assert len(trace) == 500
+        assert trace.n_nodes == 10
+        assert trace.name == "uniform"
+
+    def test_zipf_skewed(self):
+        trace = zipf_pair_trace(n_nodes=12, n_requests=3000, exponent=1.5, seed=1)
+        stats = compute_trace_statistics(trace)
+        uniform_stats = compute_trace_statistics(
+            uniform_random_trace(n_nodes=12, n_requests=3000, seed=1)
+        )
+        assert stats.top10pct_share > uniform_stats.top10pct_share
+
+    def test_zipf_rejects_bad_exponent(self):
+        with pytest.raises(TrafficError):
+            zipf_pair_trace(n_nodes=8, n_requests=10, exponent=0.0)
+
+    def test_hotspot_concentration(self):
+        trace = hotspot_trace(n_nodes=10, n_requests=2000, n_hot_pairs=2,
+                              hot_fraction=0.9, seed=2)
+        counts = trace.pair_counts()
+        top2 = sum(sorted(counts.values(), reverse=True)[:2])
+        assert top2 / len(trace) > 0.8
+
+    def test_hotspot_validation(self):
+        with pytest.raises(TrafficError):
+            hotspot_trace(n_nodes=5, n_requests=10, n_hot_pairs=100)
+        with pytest.raises(TrafficError):
+            hotspot_trace(n_nodes=5, n_requests=10, hot_fraction=1.5)
+
+    def test_permutation_uses_disjoint_pairs(self):
+        trace = permutation_trace(n_nodes=10, n_requests=500, seed=3)
+        pairs = set(trace.pairs())
+        nodes = [n for p in pairs for n in p]
+        assert len(nodes) == len(set(nodes))  # pairwise disjoint partners
+
+    def test_reproducibility(self):
+        a = zipf_pair_trace(n_nodes=10, n_requests=200, seed=5)
+        b = zipf_pair_trace(n_nodes=10, n_requests=200, seed=5)
+        np.testing.assert_array_equal(a.sources, b.sources)
+        np.testing.assert_array_equal(a.destinations, b.destinations)
+
+
+class TestFacebookGenerators:
+    def test_database_dimensions_and_name(self):
+        trace = database_trace(n_nodes=20, n_requests=2000, seed=0)
+        assert trace.name == "facebook-database"
+        assert len(trace) == 2000
+        assert trace.n_nodes == 20
+
+    def test_database_has_temporal_structure(self):
+        db = database_trace(n_nodes=20, n_requests=5000, seed=1)
+        iid = uniform_random_trace(n_nodes=20, n_requests=5000, seed=1)
+        db_stats = compute_trace_statistics(db)
+        iid_stats = compute_trace_statistics(iid)
+        assert db_stats.rereference_rate > iid_stats.rereference_rate + 0.2
+
+    def test_web_less_skewed_than_database(self):
+        db = database_trace(n_nodes=30, n_requests=6000, seed=2)
+        web = web_service_trace(n_nodes=30, n_requests=6000, seed=2)
+        db_stats = compute_trace_statistics(db)
+        web_stats = compute_trace_statistics(web)
+        assert web_stats.normalized_entropy > db_stats.normalized_entropy
+
+    def test_hadoop_dimensions(self):
+        trace = hadoop_trace(n_nodes=20, n_requests=3000, seed=3)
+        assert len(trace) == 3000
+        assert trace.name == "facebook-hadoop"
+
+    def test_hadoop_has_job_locality(self):
+        trace = hadoop_trace(n_nodes=30, n_requests=5000, seed=4,
+                             job_racks=5, mean_job_length=500)
+        stats = compute_trace_statistics(trace)
+        assert stats.rereference_rate > 0.3
+
+    def test_hadoop_validation(self):
+        with pytest.raises(TrafficError):
+            hadoop_trace(n_nodes=10, n_requests=100, job_racks=1)
+        with pytest.raises(TrafficError):
+            hadoop_trace(n_nodes=10, n_requests=100, background_fraction=1.5)
+
+    def test_facebook_reproducible(self):
+        a = database_trace(n_nodes=15, n_requests=1000, seed=9)
+        b = database_trace(n_nodes=15, n_requests=1000, seed=9)
+        np.testing.assert_array_equal(a.sources, b.sources)
+
+
+class TestMicrosoftGenerator:
+    def test_dimensions_and_name(self):
+        trace = microsoft_trace(n_nodes=25, n_requests=3000, seed=0)
+        assert trace.name == "microsoft"
+        assert trace.n_nodes == 25
+        assert len(trace) == 3000
+
+    def test_spatially_skewed(self):
+        matrix = projector_style_matrix(n_nodes=30, seed=1)
+        assert matrix.skew_top_share(0.05) > 0.3
+        assert matrix.entropy() < matrix.max_entropy()
+
+    def test_no_temporal_structure_beyond_skew(self):
+        """I.i.d. sampling: shuffling the trace should not change its statistics much."""
+        trace = microsoft_trace(n_nodes=25, n_requests=8000, seed=2)
+        stats = compute_trace_statistics(trace)
+        rng = np.random.default_rng(0)
+        order = rng.permutation(len(trace))
+        shuffled = trace.sources[order], trace.destinations[order]
+        from repro.traffic import Trace, TraceMetadata
+
+        shuffled_trace = Trace(shuffled[0], shuffled[1], TraceMetadata("s", 25))
+        shuffled_stats = compute_trace_statistics(shuffled_trace)
+        assert abs(stats.rereference_rate - shuffled_stats.rereference_rate) < 0.05
+
+    def test_active_fraction_validation(self):
+        with pytest.raises(TrafficError):
+            projector_style_matrix(n_nodes=10, active_fraction=0.0)
+
+    def test_reproducible(self):
+        a = microsoft_trace(n_nodes=20, n_requests=500, seed=7)
+        b = microsoft_trace(n_nodes=20, n_requests=500, seed=7)
+        np.testing.assert_array_equal(a.sources, b.sources)

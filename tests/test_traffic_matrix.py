@@ -1,0 +1,98 @@
+"""Tests for TrafficMatrix."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrafficError
+from repro.traffic import TrafficMatrix
+
+
+class TestConstruction:
+    def test_normalises_and_symmetrises(self):
+        m = TrafficMatrix(np.array([[0, 4, 0], [0, 0, 0], [2, 0, 0]], dtype=float))
+        assert m.matrix.sum() == pytest.approx(1.0)
+        assert np.allclose(m.matrix, m.matrix.T)
+        assert np.all(np.diag(m.matrix) == 0)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(TrafficError):
+            TrafficMatrix(np.ones((2, 3)))
+
+    def test_rejects_negative(self):
+        with pytest.raises(TrafficError):
+            TrafficMatrix(np.array([[0, -1], [-1, 0]], dtype=float))
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(TrafficError):
+            TrafficMatrix(np.zeros((3, 3)))
+
+    def test_from_pair_weights(self):
+        m = TrafficMatrix.from_pair_weights({(0, 1): 3.0, (1, 2): 1.0}, n_nodes=3)
+        assert m.pair_probability(0, 1) == pytest.approx(0.75)
+        assert m.pair_probability(1, 2) == pytest.approx(0.25)
+
+    def test_uniform(self):
+        m = TrafficMatrix.uniform(4)
+        probs = [m.pair_probability(u, v) for u in range(4) for v in range(u + 1, 4)]
+        assert all(p == pytest.approx(1 / 6) for p in probs)
+
+    def test_from_node_popularity_gravity(self):
+        pop = np.array([4.0, 1.0, 1.0])
+        m = TrafficMatrix.from_node_popularity(pop)
+        assert m.pair_probability(0, 1) > m.pair_probability(1, 2)
+
+    def test_locality_mask_shape_checked(self):
+        with pytest.raises(TrafficError):
+            TrafficMatrix.from_node_popularity(np.ones(3), locality=np.ones((2, 2)))
+
+
+class TestSampling:
+    def test_sample_shape_and_validity(self):
+        m = TrafficMatrix.uniform(6)
+        rng = np.random.default_rng(0)
+        pairs = m.sample_pairs(500, rng)
+        assert pairs.shape == (500, 2)
+        assert np.all(pairs[:, 0] < pairs[:, 1])
+        assert pairs.max() < 6
+
+    def test_sample_zero(self):
+        m = TrafficMatrix.uniform(4)
+        assert m.sample_pairs(0, np.random.default_rng(0)).shape == (0, 2)
+
+    def test_sampling_follows_distribution(self):
+        m = TrafficMatrix.from_pair_weights({(0, 1): 9.0, (2, 3): 1.0}, n_nodes=4)
+        rng = np.random.default_rng(1)
+        pairs = m.sample_pairs(5000, rng)
+        hot = np.sum((pairs[:, 0] == 0) & (pairs[:, 1] == 1))
+        assert 0.85 < hot / 5000 < 0.95
+
+    def test_self_pair_probability_zero(self):
+        m = TrafficMatrix.uniform(4)
+        assert m.pair_probability(2, 2) == 0.0
+
+
+class TestSkewMetrics:
+    def test_uniform_has_max_entropy(self):
+        m = TrafficMatrix.uniform(6)
+        assert m.entropy() == pytest.approx(m.max_entropy())
+
+    def test_skewed_has_lower_entropy(self):
+        skewed = TrafficMatrix.from_pair_weights({(0, 1): 100.0, (2, 3): 1.0}, n_nodes=4)
+        assert skewed.entropy() < skewed.max_entropy()
+
+    def test_top_share_of_hotspot(self):
+        weights = {(0, 1): 98.0}
+        weights.update({(i, j): 0.01 for i in range(6) for j in range(i + 1, 6) if (i, j) != (0, 1)})
+        m = TrafficMatrix.from_pair_weights(weights, n_nodes=6)
+        assert m.skew_top_share(fraction=0.1) > 0.9
+
+    def test_top_pairs_sorted(self):
+        m = TrafficMatrix.from_pair_weights({(0, 1): 5.0, (2, 3): 3.0, (1, 2): 1.0}, n_nodes=4)
+        top = m.top_pairs(2)
+        assert top[0][0] == (0, 1)
+        assert top[1][0] == (2, 3)
+
+    def test_invalid_fraction(self):
+        m = TrafficMatrix.uniform(4)
+        with pytest.raises(TrafficError):
+            m.skew_top_share(0.0)

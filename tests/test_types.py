@@ -1,0 +1,84 @@
+"""Tests for repro.types: pair canonicalisation and Request objects."""
+
+import pytest
+
+from repro.types import Request, all_pairs, as_requests, canonical_pair, pair_index, pairs_of
+
+
+class TestCanonicalPair:
+    def test_orders_endpoints(self):
+        assert canonical_pair(5, 2) == (2, 5)
+
+    def test_already_ordered(self):
+        assert canonical_pair(1, 7) == (1, 7)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            canonical_pair(3, 3)
+
+    def test_symmetric(self):
+        assert canonical_pair(4, 9) == canonical_pair(9, 4)
+
+
+class TestPairIndex:
+    def test_enumerates_all_pairs_uniquely(self):
+        n = 7
+        indices = {pair_index(u, v, n) for u, v in all_pairs(n)}
+        assert indices == set(range(n * (n - 1) // 2))
+
+    def test_order_independent(self):
+        assert pair_index(2, 5, 8) == pair_index(5, 2, 8)
+
+    def test_first_and_last(self):
+        n = 5
+        assert pair_index(0, 1, n) == 0
+        assert pair_index(n - 2, n - 1, n) == n * (n - 1) // 2 - 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            pair_index(0, 9, 5)
+
+
+class TestPairsOf:
+    def test_yields_all_incident_pairs(self):
+        pairs = list(pairs_of(2, 5))
+        assert len(pairs) == 4
+        assert all(2 in p for p in pairs)
+        assert all(p[0] < p[1] for p in pairs)
+
+    def test_all_pairs_count(self):
+        assert len(list(all_pairs(6))) == 15
+
+
+class TestRequest:
+    def test_basic_fields(self):
+        r = Request(3, 1)
+        assert r.src == 3 and r.dst == 1
+        assert r.size == 1.0
+
+    def test_pair_is_canonical(self):
+        assert Request(3, 1).pair() == (1, 3)
+
+    def test_reversed_keeps_pair(self):
+        r = Request(2, 6, size=2.0, timestamp=5.0)
+        rev = r.reversed()
+        assert rev.src == 6 and rev.dst == 2
+        assert rev.pair() == r.pair()
+        assert rev.size == r.size and rev.timestamp == r.timestamp
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            Request(4, 4)
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            Request(0, 1, size=0.0)
+
+    def test_frozen(self):
+        r = Request(0, 1)
+        with pytest.raises(AttributeError):
+            r.src = 2  # type: ignore[misc]
+
+    def test_as_requests(self):
+        reqs = as_requests([(0, 1), (2, 3)])
+        assert [((r.src, r.dst)) for r in reqs] == [(0, 1), (2, 3)]
