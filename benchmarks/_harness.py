@@ -14,17 +14,21 @@ x-axes) so the whole suite runs in minutes on a laptop.  Set
 from __future__ import annotations
 
 import os
+import subprocess
+import sys
 from functools import lru_cache
 from pathlib import Path
 from typing import Dict, Mapping, Sequence
 
 from repro.analysis import format_comparison_table, format_series_table
-from repro.simulation import AggregateResult, ExperimentRunner, RunSpec
+from repro.experiments import ExperimentSpec
+from repro.simulation import AggregateResult, ExperimentRunner
 
 __all__ = [
     "bench_scale",
     "bench_repetitions",
     "scaled_requests",
+    "preflight",
     "run_figure_panel",
     "routing_cost_table",
     "execution_time_table",
@@ -66,6 +70,38 @@ def scaled_requests(full_count: int) -> int:
     return max(2_000, int(full_count * bench_scale()))
 
 
+_PREFLIGHT_RAN = False
+
+
+def preflight() -> None:
+    """Run the fast ``pytest -m smoke`` subset once before long benchmark runs.
+
+    A multi-hour sweep should fail in seconds, not hours, when the library is
+    broken.  Runs at most once per process; disable with
+    ``REPRO_BENCH_PREFLIGHT=0``.
+    """
+    global _PREFLIGHT_RAN
+    if _PREFLIGHT_RAN or os.environ.get("REPRO_BENCH_PREFLIGHT", "1") == "0":
+        return
+    _PREFLIGHT_RAN = True
+    root = Path(__file__).resolve().parents[1]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(root / "src"), env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-m", "smoke", "-q", "--no-header", "-p", "no:cacheprovider",
+         str(root / "tests")],
+        cwd=root,
+        env=env,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"smoke-test preflight failed (exit {proc.returncode}); aborting benchmarks "
+            "(set REPRO_BENCH_PREFLIGHT=0 to skip)"
+        )
+
+
 @lru_cache(maxsize=None)
 def run_figure_panel(figure: str) -> Dict[str, AggregateResult]:
     """Run all configurations behind one figure and cache the results.
@@ -74,33 +110,25 @@ def run_figure_panel(figure: str) -> Dict[str, AggregateResult]:
     ``"oblivious (b: ...)"``, ``"so-bma (b: ...)"``) to aggregated results,
     all replayed on the same generated workload per repetition.
     """
+    preflight()
     workload, n_racks, full_requests, b_values = FIGURE_SETTINGS[figure]
     n_requests = scaled_requests(full_requests)
-    workload_kwargs = {"n_nodes": n_racks, "n_requests": n_requests}
 
-    specs = []
-    for algorithm in ("rbma", "bma"):
-        for b in b_values:
-            specs.append(
-                RunSpec(
-                    algorithm=algorithm,
-                    workload=workload,
-                    b=b,
-                    alpha=DEFAULT_ALPHA,
-                    workload_kwargs=workload_kwargs,
-                    checkpoints=10,
-                )
-            )
+    base = ExperimentSpec(
+        algorithm={"name": "rbma", "b": b_values[0], "alpha": DEFAULT_ALPHA},
+        traffic={"name": workload,
+                 "params": {"n_nodes": n_racks, "n_requests": n_requests}},
+        simulation={"checkpoints": 10},
+    )
+    specs = base.expand({"algorithm.name": ["rbma", "bma"],
+                         "algorithm.b": list(b_values)})
     # Oblivious baseline (b is irrelevant) and SO-BMA at the largest b for the
     # best-of panel, as in the paper's (c) sub-figures.
-    specs.append(
-        RunSpec(algorithm="oblivious", workload=workload, b=b_values[0], alpha=DEFAULT_ALPHA,
-                workload_kwargs=workload_kwargs, checkpoints=10)
-    )
-    specs.append(
-        RunSpec(algorithm="so-bma", workload=workload, b=b_values[-1], alpha=DEFAULT_ALPHA,
-                workload_kwargs=workload_kwargs, checkpoints=10,
-                algorithm_kwargs={"solver": "blossom"})
+    specs.extend(
+        base.expand({"algorithm.name": ["oblivious"]})
+        + base.expand({"algorithm.name": ["so-bma"],
+                       "algorithm.b": [b_values[-1]],
+                       "algorithm.params": [{"solver": "blossom"}]})
     )
     runner = ExperimentRunner(repetitions=bench_repetitions(), base_seed=2023)
     return runner.compare_on_shared_trace(specs)

@@ -13,3 +13,18 @@ _SRC = _HERE.parent / "src"
 for path in (str(_HERE), str(_SRC)):
     if path not in sys.path:
         sys.path.insert(0, path)
+
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _smoke_preflight():
+    """Fail a benchmark session in seconds if the library is broken.
+
+    Runs the fast ``pytest -m smoke`` subset once before any benchmark
+    executes; disable with ``REPRO_BENCH_PREFLIGHT=0``.
+    """
+    import _harness
+
+    _harness.preflight()

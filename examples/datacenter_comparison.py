@@ -13,18 +13,21 @@ Run with::
 
 import sys
 
+from repro import ExperimentSpec
 from repro.analysis import format_comparison_table
-from repro.simulation import ExperimentRunner, RunSpec
+from repro.simulation import ExperimentRunner
 
 
 def compare_cluster(workload: str, n_requests: int, b: int = 12, alpha: float = 40.0) -> None:
     """Run the algorithm comparison for one cluster workload and print it."""
-    workload_kwargs = {"n_nodes": 100, "n_requests": n_requests}
-    specs = [
-        RunSpec(algorithm=algorithm, workload=workload, b=b, alpha=alpha,
-                workload_kwargs=workload_kwargs, checkpoints=8)
-        for algorithm in ("rbma", "bma", "so-bma", "greedy", "oblivious")
-    ]
+    base = ExperimentSpec(
+        algorithm={"name": "rbma", "b": b, "alpha": alpha},
+        traffic={"name": workload, "params": {"n_nodes": 100, "n_requests": n_requests}},
+        simulation={"checkpoints": 8},
+    )
+    specs = base.expand(
+        {"algorithm.name": ["rbma", "bma", "so-bma", "greedy", "oblivious"]}
+    )
     runner = ExperimentRunner(repetitions=1, base_seed=42)
     results = runner.compare_on_shared_trace(specs)
     oblivious_label = next(label for label in results if label.startswith("oblivious"))

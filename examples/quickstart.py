@@ -1,53 +1,56 @@
 #!/usr/bin/env python
 """Quickstart: run R-BMA on a synthetic datacenter workload.
 
-This example builds a 100-rack fat-tree, generates a Facebook-database-like
-workload, runs the paper's randomized online b-matching algorithm (R-BMA)
-against the oblivious baseline, and prints the routing-cost series and the
-final reduction — a miniature version of the paper's Figure 1a.
+The experiment is a declarative :class:`repro.ExperimentSpec` — a plain-data
+description of the topology, workload and algorithm that round-trips through
+JSON (``python -m repro run <file>`` runs the identical experiment).  The
+script runs the paper's randomized online b-matching algorithm (R-BMA)
+against the oblivious baseline on a Facebook-database-like workload over a
+100-rack fat-tree, and prints the routing-cost series and the final
+reduction — a miniature version of the paper's Figure 1a.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import MatchingConfig, RBMA, ObliviousRouting, SimulationConfig, run_simulation
+from repro import ExperimentSpec
 from repro.analysis import format_series_table, routing_cost_reduction
-from repro.simulation import aggregate_runs
-from repro.topology import FatTreeTopology
-from repro.traffic import database_trace
 
 
 def main() -> None:
-    n_racks = 100
-    topology = FatTreeTopology(n_racks=n_racks)
-    print(f"Fixed network: {topology.name}, max rack distance = {topology.max_distance():.0f} hops")
+    rbma_spec = ExperimentSpec(
+        name="R-BMA (b: 12)",
+        algorithm={"name": "rbma", "b": 12, "alpha": 40},
+        traffic={"name": "facebook-database",
+                 "params": {"n_nodes": 100, "n_requests": 30_000}},
+        topology={"name": "fat-tree"},
+        simulation={"checkpoints": 10},
+        seed=0,
+    )
+    oblivious_spec = rbma_spec.expand({"algorithm.name": ["oblivious"]})[0]
 
-    trace = database_trace(n_nodes=n_racks, n_requests=30_000, seed=0)
-    print(f"Workload: {trace.name}, {len(trace):,} requests over {trace.n_nodes} racks")
+    print("Experiment as JSON (feed this to `python -m repro run <file>`):")
+    print(rbma_spec.to_json())
 
-    config = MatchingConfig(b=12, alpha=40)
-    sim = SimulationConfig(checkpoints=10, seed=0)
-
-    rbma = RBMA(topology, config, rng=0)
-    rbma_result = run_simulation(rbma, trace, sim)
-
-    oblivious = ObliviousRouting(topology, config)
-    oblivious_result = run_simulation(oblivious, trace, sim)
+    # .run() executes every repetition (here: one) and aggregates; the same
+    # spec always reproduces the same result because trace and algorithm
+    # seeds are spawned deterministically from the base seed.
+    rbma_result = rbma_spec.run()
+    oblivious_result = oblivious_spec.run()
 
     results = {
-        "R-BMA (b: 12)": aggregate_runs([rbma_result]),
-        "Oblivious": aggregate_runs([oblivious_result]),
+        rbma_spec.label: rbma_result,
+        "Oblivious": oblivious_result,
     }
     print()
     print(format_series_table(results, metric="routing_cost",
                               title="Cumulative routing cost vs. #requests"))
-    reduction = routing_cost_reduction(results["R-BMA (b: 12)"], results["Oblivious"])
+    reduction = routing_cost_reduction(rbma_result, oblivious_result)
     print()
     print(f"R-BMA routing-cost reduction vs. oblivious routing: {100 * reduction:.1f}%")
-    print(f"Requests served over reconfigurable links: {100 * rbma_result.matched_fraction:.1f}%")
-    print(f"Reconfigurations paid for: "
-          f"{rbma_result.total_reconfiguration_cost / config.alpha:.0f} edge changes")
+    print(f"Requests served over reconfigurable links: "
+          f"{100 * rbma_result.matched_fraction_mean:.1f}%")
 
 
 if __name__ == "__main__":

@@ -9,14 +9,39 @@ optimum, competitive ratios, adversarial traces).
 
 Quickstart
 ----------
+Experiments are plain data: an :class:`ExperimentSpec` names the algorithm,
+workload and topology, carries every parameter, and round-trips through JSON
+(``spec.save_json("exp.json")`` / ``repro run exp.json``).
+
+>>> from repro import ExperimentSpec
+>>> spec = ExperimentSpec(
+...     algorithm={"name": "rbma", "b": 12, "alpha": 10},
+...     traffic={"name": "facebook-database",
+...              "params": {"n_nodes": 100, "n_requests": 5_000}},
+...     seed=0,
+... )
+>>> result = spec.execute()
+>>> result.total_routing_cost > 0
+True
+>>> ExperimentSpec.from_dict(result.spec) == spec  # provenance travels along
+True
+
+Sweeps are cartesian grids over spec fields:
+
+>>> specs = spec.expand({"algorithm.name": ["rbma", "bma"],
+...                      "algorithm.b": [6, 12]})
+>>> [s.label for s in specs]
+['rbma (b: 6)', 'rbma (b: 12)', 'bma (b: 6)', 'bma (b: 12)']
+
+The imperative API remains for hand-wired setups:
+
 >>> from repro import MatchingConfig, RBMA, run_simulation
 >>> from repro.topology import FatTreeTopology
 >>> from repro.traffic import database_trace
 >>> topo = FatTreeTopology(n_racks=100)
 >>> trace = database_trace(n_nodes=100, n_requests=5_000, seed=0)
 >>> algo = RBMA(topo, MatchingConfig(b=12, alpha=10), rng=0)
->>> result = run_simulation(algo, trace)
->>> result.total_routing_cost < 5_000 * topo.mean_distance()
+>>> run_simulation(algo, trace).total_routing_cost < 5_000 * topo.mean_distance()
 True
 """
 
@@ -47,11 +72,27 @@ from .core import (
     make_algorithm,
 )
 from .matching import BMatching
+from .experiments import (
+    AlgorithmSpec,
+    CostTraceObserver,
+    ExperimentSpec,
+    ProgressObserver,
+    Registry,
+    SimulationObserver,
+    TopologySpec,
+    TrafficSpec,
+    ValidationObserver,
+    expand_grid,
+    spawn_seeds,
+)
 from .simulation import (
     AggregateResult,
     ExperimentRunner,
     RunResult,
     RunSpec,
+    execute_experiment_spec,
+    execute_run_spec,
+    run_experiments,
     run_simulation,
     run_sweep,
 )
@@ -88,9 +129,25 @@ __all__ = [
     "PredictiveBMA",
     "available_algorithms",
     "make_algorithm",
+    # declarative experiments
+    "Registry",
+    "ExperimentSpec",
+    "AlgorithmSpec",
+    "TrafficSpec",
+    "TopologySpec",
+    "expand_grid",
+    "spawn_seeds",
+    # observers
+    "SimulationObserver",
+    "ProgressObserver",
+    "ValidationObserver",
+    "CostTraceObserver",
     # simulation
     "run_simulation",
     "run_sweep",
+    "run_experiments",
+    "execute_run_spec",
+    "execute_experiment_spec",
     "RunSpec",
     "RunResult",
     "AggregateResult",

@@ -2,27 +2,43 @@
 
 Lets users drive the common workflows without writing Python::
 
+    python -m repro run experiment.json --out results.json
     python -m repro simulate --workload facebook-database --algorithm rbma --b 12
     python -m repro compare  --workload microsoft --b 6 --algorithms rbma bma so-bma
+    python -m repro sweep    --workload zipf --b-values 2 4 8 --algorithms rbma bma
     python -m repro generate-trace --workload facebook-hadoop --requests 50000 --out trace.csv
     python -m repro analyze-trace trace.csv
     python -m repro list
 
-All subcommands print plain-text tables (the same renderers the benchmark
-harness uses) and exit non-zero on configuration errors.
+Every simulation path is driven by a declarative
+:class:`~repro.experiments.specs.ExperimentSpec`; ``run`` executes one
+straight from a JSON file.  All subcommands print plain-text tables (the same
+renderers the benchmark harness uses) and exit non-zero on configuration
+errors.  Invoked without a subcommand, the CLI prints usage and exits 0.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
+from ._version import __version__
 from .analysis import format_comparison_table, format_series_table
 from .analysis.plotting import plot_results
+from .config import SweepConfig
 from .core import available_algorithms
 from .errors import ReproError
-from .simulation import ExperimentRunner, RunSpec
+from .experiments import ExperimentSpec, ProgressObserver
+from .paging import available_paging_policies
+from .simulation import (
+    ExperimentRunner,
+    aggregate_runs,
+    execute_experiment_spec,
+    run_specs_parallel,
+    run_sweep,
+)
 from .topology import available_topologies
 from .traffic import (
     available_workloads,
@@ -42,7 +58,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="Online b-matching for reconfigurable optical datacenters "
         "(reproduction of Bienkowski et al., SC 2023)",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command")
 
     def add_common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--workload", default="facebook-database",
@@ -50,22 +67,45 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--nodes", type=int, default=100, help="number of racks")
         p.add_argument("--requests", type=int, default=20_000, help="number of requests")
         p.add_argument("--topology", default="fat-tree", help="fixed-network topology")
-        p.add_argument("--b", type=int, default=12, help="matching degree bound b")
         p.add_argument("--alpha", type=float, default=15.0, help="reconfiguration cost alpha")
         p.add_argument("--seed", type=int, default=0, help="base random seed")
         p.add_argument("--repetitions", type=int, default=1, help="repetitions to average")
         p.add_argument("--checkpoints", type=int, default=10, help="checkpoints to record")
 
+    p_run = sub.add_parser("run", help="execute an experiment described by a JSON spec file")
+    p_run.add_argument("spec", help="path to an ExperimentSpec JSON file")
+    p_run.add_argument("--repeats", type=int, default=None,
+                       help="override the spec's repeat count")
+    p_run.add_argument("--seed", type=int, default=None, help="override the spec's base seed")
+    p_run.add_argument("--workers", type=int, default=1,
+                       help="process-pool size for the repetitions")
+    p_run.add_argument("--progress", action="store_true",
+                       help="print per-checkpoint progress (observer-based)")
+    p_run.add_argument("--out", default=None,
+                       help="write the spec, per-run results, and aggregate as JSON")
+
     p_sim = sub.add_parser("simulate", help="run one algorithm on one workload")
     add_common(p_sim)
+    p_sim.add_argument("--b", type=int, default=12, help="matching degree bound b")
     p_sim.add_argument("--algorithm", default="rbma", help="algorithm name (see `repro list`)")
 
     p_cmp = sub.add_parser("compare", help="run several algorithms on the same workload")
     add_common(p_cmp)
+    p_cmp.add_argument("--b", type=int, default=12, help="matching degree bound b")
     p_cmp.add_argument("--algorithms", nargs="+",
                        default=["rbma", "bma", "so-bma", "oblivious"],
                        help="algorithm names to compare")
     p_cmp.add_argument("--plot", action="store_true", help="render an ASCII chart of the series")
+
+    p_swp = sub.add_parser("sweep", help="cross-product sweep over algorithms, b, and alpha")
+    add_common(p_swp)
+    p_swp.add_argument("--b-values", type=int, nargs="+", default=[6, 12, 18],
+                       help="degree bounds to sweep over")
+    p_swp.add_argument("--alpha-values", type=float, nargs="+", default=None,
+                       help="reconfiguration costs to sweep over (default: --alpha)")
+    p_swp.add_argument("--algorithms", nargs="+", default=["rbma", "bma", "oblivious"],
+                       help="algorithm names to sweep")
+    p_swp.add_argument("--workers", type=int, default=1, help="process-pool size")
 
     p_gen = sub.add_parser("generate-trace", help="generate a workload and save it as CSV")
     p_gen.add_argument("--workload", default="facebook-database")
@@ -77,25 +117,61 @@ def build_parser() -> argparse.ArgumentParser:
     p_ana = sub.add_parser("analyze-trace", help="print structure statistics of a CSV trace")
     p_ana.add_argument("path", help="trace CSV written by generate-trace")
 
-    sub.add_parser("list", help="list available algorithms, workloads, and topologies")
+    sub.add_parser("list", help="list available algorithms, workloads, topologies, "
+                                "and paging policies")
     return parser
 
 
-def _run_specs(args: argparse.Namespace, algorithms: Sequence[str]):
-    specs = [
-        RunSpec(
-            algorithm=algorithm,
-            workload=args.workload,
-            b=args.b,
-            alpha=args.alpha,
-            topology=args.topology,
-            workload_kwargs={"n_nodes": args.nodes, "n_requests": args.requests},
-            checkpoints=args.checkpoints,
+def _build_specs(args: argparse.Namespace, algorithms: Sequence[str]):
+    return [
+        ExperimentSpec(
+            algorithm={"name": algorithm, "b": args.b, "alpha": args.alpha},
+            traffic={"name": args.workload,
+                     "params": {"n_nodes": args.nodes, "n_requests": args.requests}},
+            topology={"name": args.topology},
+            simulation={"checkpoints": args.checkpoints},
         )
         for algorithm in algorithms
     ]
+
+
+def _run_specs(args: argparse.Namespace, algorithms: Sequence[str]):
     runner = ExperimentRunner(repetitions=args.repetitions, base_seed=args.seed)
-    return runner.compare_on_shared_trace(specs)
+    return runner.compare_on_shared_trace(_build_specs(args, algorithms))
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = ExperimentSpec.load_json(args.spec)
+    if args.repeats is not None:
+        spec = spec.with_seed(spec.seed, repeats=args.repeats)
+    if args.seed is not None:
+        spec = spec.with_seed(args.seed, repeats=spec.repeats)
+    observers = (ProgressObserver(),) if args.progress else ()
+    singles = [spec.with_seed(seed) for seed in spec.repetition_seeds()]
+    if args.workers > 1:
+        if args.progress:
+            print("note: --progress is unavailable with --workers > 1 "
+                  "(observers do not cross process boundaries)", file=sys.stderr)
+        runs = run_specs_parallel(singles, n_workers=args.workers)
+    else:
+        runs = [execute_experiment_spec(s, observers=observers) for s in singles]
+    agg = aggregate_runs(runs)
+    results = {spec.label: agg}
+    print(format_series_table(results, metric="routing_cost", title=f"{spec.label}"))
+    print()
+    print(f"final routing cost:        {agg.routing_cost_mean:,.0f}")
+    print(f"final execution time [s]:  {agg.elapsed_seconds_mean:.3f}")
+    print(f"matched request share:     {agg.matched_fraction_mean:.1%}")
+    if args.out:
+        payload = {
+            "spec": spec.to_dict(),
+            "runs": [run.to_dict() for run in runs],
+            "aggregate": agg.to_dict(),
+        }
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {len(runs)} run(s) to {args.out}")
+    return 0
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -121,6 +197,33 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    sweep = SweepConfig(
+        b_values=tuple(args.b_values),
+        alpha_values=tuple(args.alpha_values if args.alpha_values else [args.alpha]),
+        algorithms=tuple(args.algorithms),
+    )
+    results = run_sweep(
+        sweep,
+        workload=args.workload,
+        workload_kwargs={"n_nodes": args.nodes, "n_requests": args.requests},
+        topology=args.topology,
+        repetitions=args.repetitions,
+        base_seed=args.seed,
+        checkpoints=args.checkpoints,
+        n_workers=args.workers,
+    )
+    # Label collisions would silently drop rows: disambiguate by alpha when
+    # more than one alpha value is swept.
+    if len(sweep.alpha_values) > 1:
+        by_label = {f"{r.algorithm} (b: {r.b}, alpha: {r.alpha:g})": r for r in results}
+    else:
+        by_label = {r.label: r for r in results}
+    oblivious_label = next((label for label in by_label if label.startswith("oblivious")), None)
+    print(format_comparison_table(by_label, oblivious_label=oblivious_label))
+    return 0
+
+
 def _cmd_generate_trace(args: argparse.Namespace) -> int:
     trace = make_workload(args.workload, n_nodes=args.nodes, n_requests=args.requests,
                           seed=args.seed)
@@ -141,15 +244,18 @@ def _cmd_analyze_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
-    print("algorithms: " + ", ".join(available_algorithms()))
-    print("workloads:  " + ", ".join(available_workloads()))
-    print("topologies: " + ", ".join(available_topologies()))
+    print("algorithms:      " + ", ".join(available_algorithms()))
+    print("workloads:       " + ", ".join(available_workloads()))
+    print("topologies:      " + ", ".join(available_topologies()))
+    print("paging policies: " + ", ".join(available_paging_policies()))
     return 0
 
 
 _COMMANDS = {
+    "run": _cmd_run,
     "simulate": _cmd_simulate,
     "compare": _cmd_compare,
+    "sweep": _cmd_sweep,
     "generate-trace": _cmd_generate_trace,
     "analyze-trace": _cmd_analyze_trace,
     "list": _cmd_list,
@@ -160,9 +266,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 0
     try:
         return _COMMANDS[args.command](args)
     except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

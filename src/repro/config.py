@@ -97,6 +97,20 @@ class SimulationConfig:
         if self.repetitions < 1:
             raise ConfigurationError(f"repetitions must be >= 1, got {self.repetitions}")
 
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form suitable for JSON serialisation."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SimulationConfig":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        unknown = set(data) - {"checkpoints", "seed", "repetitions", "collect_matching_history"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown SimulationConfig keys: {', '.join(sorted(unknown))}"
+            )
+        return cls(**dict(data))
+
 
 @dataclass(frozen=True)
 class SweepConfig:

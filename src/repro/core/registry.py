@@ -2,17 +2,20 @@
 
 The sweep runner and the benchmark harness describe experiments by algorithm
 name (``"rbma"``, ``"bma"``, ``"so-bma"``, ``"oblivious"``, ...); the registry
-turns those names into configured instances.
+turns those names into configured instances.  The registry itself is an
+instance of the generic :class:`repro.experiments.Registry`; the module-level
+``register_algorithm`` / ``make_algorithm`` / ``available_algorithms``
+functions are kept as thin shims over it.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Optional
 
 import numpy as np
 
 from ..config import MatchingConfig
-from ..errors import ConfigurationError
+from ..experiments.registry import Registry
 from ..topology import Topology
 from .base import OnlineBMatchingAlgorithm
 from .bma import BMA
@@ -25,25 +28,29 @@ from .rotor import RotorBMA
 from .static_offline import StaticOfflineBMA
 from .uniform import UniformBMatching
 
-__all__ = ["register_algorithm", "make_algorithm", "available_algorithms", "AlgorithmFactory"]
+__all__ = [
+    "ALGORITHMS",
+    "register_algorithm",
+    "make_algorithm",
+    "available_algorithms",
+    "AlgorithmFactory",
+]
 
 #: Signature of an algorithm factory.
 AlgorithmFactory = Callable[..., OnlineBMatchingAlgorithm]
 
-_REGISTRY: Dict[str, AlgorithmFactory] = {}
+#: The algorithm registry — the single source of truth for algorithm names.
+ALGORITHMS: Registry[OnlineBMatchingAlgorithm] = Registry("algorithm")
 
 
 def register_algorithm(name: str, factory: AlgorithmFactory) -> None:
     """Register an algorithm constructor under ``name`` (lower-cased)."""
-    key = name.lower()
-    if key in _REGISTRY:
-        raise ConfigurationError(f"algorithm {name!r} is already registered")
-    _REGISTRY[key] = factory
+    ALGORITHMS.register(name, factory)
 
 
 def available_algorithms() -> list[str]:
     """Names of all registered algorithms, sorted."""
-    return sorted(_REGISTRY)
+    return ALGORITHMS.names()
 
 
 def make_algorithm(
@@ -63,21 +70,15 @@ def make_algorithm(
     >>> algo.name
     'rbma'
     """
-    key = name.lower()
-    if key not in _REGISTRY:
-        raise ConfigurationError(
-            f"unknown algorithm {name!r}; available: {', '.join(available_algorithms())}"
-        )
-    return _REGISTRY[key](topology, config, rng, **kwargs)
+    return ALGORITHMS.build(name, topology, config, rng, **kwargs)
 
 
-register_algorithm("rbma", RBMA)
-register_algorithm("bma", BMA)
-register_algorithm("oblivious", ObliviousRouting)
-register_algorithm("greedy", GreedyBMA)
-register_algorithm("so-bma", StaticOfflineBMA)
-register_algorithm("sobma", StaticOfflineBMA)
-register_algorithm("uniform", UniformBMatching)
-register_algorithm("predictive", PredictiveBMA)
-register_algorithm("rotor", RotorBMA)
-register_algorithm("hybrid", HybridBMA)
+ALGORITHMS.register("rbma", RBMA)
+ALGORITHMS.register("bma", BMA)
+ALGORITHMS.register("oblivious", ObliviousRouting)
+ALGORITHMS.register("greedy", GreedyBMA)
+ALGORITHMS.register("so-bma", StaticOfflineBMA, aliases=("sobma",))
+ALGORITHMS.register("uniform", UniformBMatching)
+ALGORITHMS.register("predictive", PredictiveBMA)
+ALGORITHMS.register("rotor", RotorBMA)
+ALGORITHMS.register("hybrid", HybridBMA)

@@ -1,0 +1,62 @@
+"""Declarative experiment descriptions and the machinery around them.
+
+This subpackage is the package's configuration layer:
+
+* :class:`~repro.experiments.registry.Registry` — the one generic
+  name → factory registry behind algorithms, topologies, workloads and
+  paging policies.
+* :class:`~repro.experiments.specs.ExperimentSpec` (with
+  :class:`~repro.experiments.specs.TopologySpec`,
+  :class:`~repro.experiments.specs.TrafficSpec`,
+  :class:`~repro.experiments.specs.AlgorithmSpec`) — a run described purely
+  as data: JSON round-trippable, eagerly validated against the registries,
+  and expandable into cartesian sweep grids.
+* :class:`~repro.experiments.observers.SimulationObserver` — the engine's
+  hook protocol (``on_start`` / ``on_request_batch`` / ``on_checkpoint`` /
+  ``on_end``) that makes progress reporting, live validation and cost
+  tracing pluggable.
+
+Only :mod:`~repro.experiments.registry` is imported eagerly; everything else
+loads on first attribute access so the domain subpackages (which create their
+registries at import time) can import :class:`Registry` without cycles.
+"""
+
+from __future__ import annotations
+
+from .registry import Registry
+
+_LAZY = {
+    # specs
+    "AlgorithmSpec": "specs",
+    "ExperimentSpec": "specs",
+    "TopologySpec": "specs",
+    "TrafficSpec": "specs",
+    "expand_grid": "specs",
+    "spawn_seeds": "specs",
+    # observers
+    "SimulationObserver": "observers",
+    "ObserverList": "observers",
+    "RunContext": "observers",
+    "CheckpointEvent": "observers",
+    "ProgressObserver": "observers",
+    "ValidationObserver": "observers",
+    "CostTraceObserver": "observers",
+}
+
+__all__ = ["Registry", *sorted(_LAZY)]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    module = import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

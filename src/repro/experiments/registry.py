@@ -1,0 +1,157 @@
+"""A single generic name → factory registry.
+
+Four copies of the same registry pattern used to live in
+:mod:`repro.core.registry`, :mod:`repro.topology.registry`,
+:mod:`repro.traffic.registry` and :mod:`repro.paging.registry`.  They are now
+all instances of :class:`Registry`, which adds the ergonomics the duplicated
+modules lacked: alias tracking, decorator registration, overwrite control,
+and — most visibly — "did you mean ...?" suggestions (via
+:func:`difflib.get_close_matches`) when a name is misspelled.
+
+The class is deliberately dependency-free (only :mod:`repro.errors`) so any
+subpackage can instantiate it without import cycles.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Callable, Dict, Generic, Iterator, List, Optional, TypeVar
+
+from ..errors import ConfigurationError
+
+__all__ = ["Registry"]
+
+T = TypeVar("T")
+
+
+class Registry(Generic[T]):
+    """A case-insensitive mapping from names to factories of ``T``.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable noun used in error messages (``"algorithm"``,
+        ``"topology"``, ...).
+
+    Examples
+    --------
+    >>> from repro.errors import ConfigurationError
+    >>> registry = Registry("widget")
+    >>> registry.register("gadget", dict)
+    >>> registry.build("gadget", colour="red")
+    {'colour': 'red'}
+    >>> try:
+    ...     registry.resolve("gadet")
+    ... except ConfigurationError as exc:
+    ...     "did you mean" in str(exc)
+    True
+    """
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._factories: Dict[str, Callable[..., T]] = {}
+        self._canonical: Dict[str, str] = {}  # name -> canonical name
+
+    # -- registration ---------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        factory: Optional[Callable[..., T]] = None,
+        *,
+        aliases: tuple[str, ...] = (),
+        overwrite: bool = False,
+    ):
+        """Register ``factory`` under ``name`` (lower-cased) and ``aliases``.
+
+        Can be used directly (``registry.register("x", make_x)``) or as a
+        decorator (``@registry.register("x")``).  Re-registering a taken name
+        raises :class:`~repro.errors.ConfigurationError` unless
+        ``overwrite=True``.
+        """
+        if factory is None:
+
+            def _decorator(fn: Callable[..., T]) -> Callable[..., T]:
+                self.register(name, fn, aliases=aliases, overwrite=overwrite)
+                return fn
+
+            return _decorator
+
+        canonical = name.lower()
+        keys = (canonical, *[alias.lower() for alias in aliases])
+        if not overwrite:
+            # Check every key up front so a conflict never leaves a partial
+            # registration behind.
+            for key in keys:
+                if key in self._factories:
+                    raise ConfigurationError(f"{self.kind} {key!r} is already registered")
+        for key in keys:
+            self._factories[key] = factory
+            self._canonical[key] = canonical
+        return factory
+
+    def unregister(self, name: str) -> None:
+        """Remove ``name`` (and nothing else — aliases stay registered)."""
+        key = name.lower()
+        if key not in self._factories:
+            raise ConfigurationError(f"{self.kind} {key!r} is not registered")
+        del self._factories[key]
+        del self._canonical[key]
+
+    # -- lookup ---------------------------------------------------------
+
+    def resolve(self, name: str) -> Callable[..., T]:
+        """The factory registered under ``name``, or a helpful error.
+
+        Unknown names raise :class:`~repro.errors.ConfigurationError` listing
+        the close matches first (``did you mean 'fat-tree'?``) and the full
+        inventory after.
+        """
+        key = name.lower() if isinstance(name, str) else name
+        try:
+            return self._factories[key]
+        except (KeyError, TypeError):
+            raise ConfigurationError(self._unknown_message(name)) from None
+
+    def build(self, name: str, *args, **kwargs) -> T:
+        """Resolve ``name`` and call the factory with the given arguments."""
+        return self.resolve(name)(*args, **kwargs)
+
+    def suggest(self, name: str, n: int = 3) -> List[str]:
+        """Registered names most similar to ``name`` (possibly empty)."""
+        if not isinstance(name, str):
+            return []
+        return difflib.get_close_matches(name.lower(), sorted(self._factories), n=n)
+
+    def canonical(self, name: str) -> str:
+        """The canonical (non-alias) spelling for ``name``."""
+        key = name.lower() if isinstance(name, str) else name
+        if key not in self._canonical:
+            raise ConfigurationError(self._unknown_message(name))
+        return self._canonical[key]
+
+    def names(self) -> List[str]:
+        """All registered names (canonical and aliases), sorted."""
+        return sorted(self._factories)
+
+    def _unknown_message(self, name: object) -> str:
+        message = f"unknown {self.kind} {name!r}"
+        close = self.suggest(name)  # type: ignore[arg-type]
+        if close:
+            message += "; did you mean " + " or ".join(repr(c) for c in close) + "?"
+        message += f" (available: {', '.join(self.names())})"
+        return message
+
+    # -- container protocol ---------------------------------------------
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name.lower() in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Registry({self.kind!r}, {len(self)} entries)"

@@ -4,13 +4,25 @@ The engine replays a trace through an online b-matching algorithm, recording
 cumulative routing cost, reconfiguration cost and wall-clock execution time at
 evenly spaced checkpoints — exactly the series plotted in the paper's figures
 (routing cost vs. number of requests, execution time vs. number of requests).
+
+Experiments are described declaratively by
+:class:`~repro.experiments.specs.ExperimentSpec` (or the legacy
+:class:`RunSpec`); :func:`execute_experiment_spec`, :class:`ExperimentRunner`,
+:func:`run_experiments` and :func:`run_sweep` execute them sequentially or in
+a process pool.
 """
 
 from .results import AggregateResult, CheckpointSeries, RunResult, aggregate_runs
 from .engine import run_simulation
 from .timer import Timer
-from .runner import ExperimentRunner, RunSpec
-from .sweep import run_sweep
+from .runner import (
+    ExperimentRunner,
+    RunSpec,
+    as_experiment_spec,
+    execute_experiment_spec,
+    execute_run_spec,
+)
+from .sweep import run_experiments, run_sweep
 from .parallel import run_specs_parallel
 
 __all__ = [
@@ -22,6 +34,10 @@ __all__ = [
     "Timer",
     "ExperimentRunner",
     "RunSpec",
+    "as_experiment_spec",
+    "execute_run_spec",
+    "execute_experiment_spec",
+    "run_experiments",
     "run_sweep",
     "run_specs_parallel",
 ]

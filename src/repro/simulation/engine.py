@@ -3,21 +3,34 @@
 :func:`run_simulation` feeds a trace to an online b-matching algorithm one
 request at a time, measuring the algorithm's wall-clock time (excluding the
 engine's own checkpoint bookkeeping) and recording the cumulative cost series
-at evenly spaced checkpoints.  The engine can optionally validate the
-matching invariants after every request, which the integration tests use to
-certify that no algorithm ever violates the degree bound.
+at evenly spaced checkpoints.
+
+Cross-cutting concerns — progress reporting, live invariant validation, cost
+tracing — are not engine flags but *observers*
+(:class:`~repro.experiments.observers.SimulationObserver`): the engine calls
+``on_start`` / ``on_request_batch`` / ``on_checkpoint`` / ``on_end`` on every
+observer it is given.  The legacy ``validate=True`` flag is kept as sugar for
+attaching a :class:`~repro.experiments.observers.ValidationObserver`, which
+the integration tests use to certify that no algorithm ever violates the
+degree bound.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional
 
 import numpy as np
 
 from ..config import SimulationConfig
 from ..core.base import OnlineBMatchingAlgorithm
 from ..errors import SimulationError
-from ..matching.validation import check_b_matching
+from ..experiments.observers import (
+    CheckpointEvent,
+    ObserverList,
+    RunContext,
+    SimulationObserver,
+    ValidationObserver,
+)
 from ..traffic.base import Trace
 from .results import CheckpointSeries, RunResult
 from .timer import Timer
@@ -39,6 +52,7 @@ def run_simulation(
     trace: Trace,
     config: Optional[SimulationConfig] = None,
     validate: bool = False,
+    observers: Iterable[SimulationObserver] = (),
 ) -> RunResult:
     """Replay ``trace`` through ``algorithm`` and collect a :class:`RunResult`.
 
@@ -55,7 +69,12 @@ def run_simulation(
         constructor — it is only recorded in the result for provenance.
     validate:
         If true, validate the b-matching invariants after every request
-        (slow; meant for tests).
+        (slow; meant for tests).  Equivalent to passing a
+        :class:`~repro.experiments.observers.ValidationObserver`.
+    observers:
+        Observers notified at run start/end, after each request batch, and at
+        each checkpoint.  Observer time is excluded from the measured
+        algorithm wall-clock time.
     """
     config = config or SimulationConfig()
     if trace.n_nodes > algorithm.topology.n_racks:
@@ -68,13 +87,20 @@ def run_simulation(
             "algorithm has already served requests; call reset() or use a fresh instance"
         )
 
+    watchers = ObserverList(observers)
+    if validate:
+        watchers.observers.append(ValidationObserver())
+    notify = bool(watchers)
+
     n_requests = len(trace)
     checkpoints = _checkpoint_positions(n_requests, config.checkpoints)
     timer = Timer()
 
-    if algorithm.requires_full_trace:
-        with timer:
-            algorithm.fit(list(trace.requests()))
+    context = RunContext(algorithm=algorithm, trace=trace, config=config,
+                         n_requests=n_requests)
+    if notify:
+        watchers.on_start(context)
+    batch_interval = watchers.batch_interval if notify else None
 
     cp_requests: list[int] = []
     cp_routing: list[float] = []
@@ -83,25 +109,48 @@ def run_simulation(
     cp_matched: list[float] = []
     matching_history: list[frozenset] = []
 
+    if algorithm.requires_full_trace:
+        with timer:
+            algorithm.fit(list(trace.requests()))
+
     next_checkpoint_idx = 0
     served = 0
+    batch_start = 0
     for i in range(n_requests):
         request = trace[i]
         with timer:
             algorithm.serve(request)
         served += 1
-        if validate:
-            check_b_matching(
-                algorithm.matching.edges, algorithm.topology.n_racks, algorithm.config.b
-            )
         if config.collect_matching_history:
             matching_history.append(algorithm.matching.edges)
-        if next_checkpoint_idx < len(checkpoints) and served >= checkpoints[next_checkpoint_idx]:
+        at_checkpoint = (
+            next_checkpoint_idx < len(checkpoints)
+            and served >= checkpoints[next_checkpoint_idx]
+        )
+        if notify and batch_interval is not None and served - batch_start >= batch_interval:
+            watchers.on_request_batch(context, batch_start, served)
+            batch_start = served
+        if at_checkpoint:
+            if notify and served > batch_start:
+                watchers.on_request_batch(context, batch_start, served)
+                batch_start = served
             cp_requests.append(served)
             cp_routing.append(algorithm.total_routing_cost)
             cp_reconf.append(algorithm.total_reconfiguration_cost)
             cp_elapsed.append(timer.elapsed)
             cp_matched.append(algorithm.matched_fraction)
+            if notify:
+                watchers.on_checkpoint(
+                    context,
+                    CheckpointEvent(
+                        index=next_checkpoint_idx,
+                        requests_served=served,
+                        routing_cost=algorithm.total_routing_cost,
+                        reconfiguration_cost=algorithm.total_reconfiguration_cost,
+                        elapsed_seconds=timer.elapsed,
+                        matched_fraction=algorithm.matched_fraction,
+                    ),
+                )
             next_checkpoint_idx += 1
 
     series = CheckpointSeries(
@@ -115,7 +164,7 @@ def run_simulation(
     if config.collect_matching_history:
         extra["matching_history"] = matching_history
 
-    return RunResult(
+    result = RunResult(
         algorithm=algorithm.name,
         workload=trace.name,
         topology=algorithm.topology.name,
@@ -130,3 +179,6 @@ def run_simulation(
         matched_fraction=algorithm.matched_fraction,
         extra=extra,
     )
+    if notify:
+        watchers.on_end(context, result)
+    return result

@@ -4,8 +4,9 @@ The simulation itself is a sequential replay (exactly as in the paper:
 "Each simulation is run sequentially. Hence, no parallelism is used during
 the execution of the proposed algorithm"), but independent runs — different
 algorithms, degree bounds, repetitions — are embarrassingly parallel.
-Because :class:`~repro.simulation.runner.RunSpec` is a plain picklable
-dataclass of names and numbers, the fan-out uses the standard
+Because specs (:class:`~repro.experiments.specs.ExperimentSpec` and the
+legacy :class:`~repro.simulation.runner.RunSpec`) are plain picklable
+dataclasses of names and numbers, the fan-out uses the standard
 :mod:`multiprocessing` pool without any shared state.
 """
 
@@ -17,7 +18,7 @@ from typing import List, Optional, Sequence
 
 from ..errors import SimulationError
 from .results import RunResult
-from .runner import RunSpec, execute_run_spec
+from .runner import AnySpec, execute_run_spec
 
 __all__ = ["run_specs_parallel", "default_worker_count"]
 
@@ -27,12 +28,12 @@ def default_worker_count() -> int:
     return max(1, (os.cpu_count() or 2) - 1)
 
 
-def _worker(spec: RunSpec) -> RunResult:
+def _worker(spec: AnySpec) -> RunResult:
     return execute_run_spec(spec)
 
 
 def run_specs_parallel(
-    specs: Sequence[RunSpec],
+    specs: Sequence[AnySpec],
     n_workers: Optional[int] = None,
     chunksize: int = 1,
 ) -> List[RunResult]:
@@ -41,7 +42,7 @@ def run_specs_parallel(
     Parameters
     ----------
     specs:
-        The runs to execute.
+        The runs to execute (legacy or structured specs).
     n_workers:
         Pool size; defaults to :func:`default_worker_count`.  A value of 1
         falls back to in-process execution (useful under debuggers and on

@@ -88,7 +88,13 @@ class CheckpointSeries:
 
 @dataclass(frozen=True)
 class RunResult:
-    """Outcome of a single simulation run."""
+    """Outcome of a single simulation run.
+
+    ``spec`` records the originating
+    :class:`~repro.experiments.specs.ExperimentSpec` (as its plain-dict form)
+    when the run was driven by one, so any saved result can be replayed with
+    ``ExperimentSpec.from_dict(result.spec)``.
+    """
 
     algorithm: str
     workload: str
@@ -103,6 +109,7 @@ class RunResult:
     total_elapsed_seconds: float
     matched_fraction: float
     extra: Dict[str, Any] = field(default_factory=dict)
+    spec: Dict[str, Any] | None = None
 
     @property
     def total_cost(self) -> float:
@@ -125,6 +132,7 @@ class RunResult:
             "total_elapsed_seconds": self.total_elapsed_seconds,
             "matched_fraction": self.matched_fraction,
             "extra": self.extra,
+            "spec": self.spec,
         }
 
     @classmethod
@@ -144,6 +152,7 @@ class RunResult:
             total_elapsed_seconds=float(data["total_elapsed_seconds"]),
             matched_fraction=float(data["matched_fraction"]),
             extra=dict(data.get("extra", {})),
+            spec=dict(data["spec"]) if data.get("spec") is not None else None,
         )
 
     def save_json(self, path: PathLike) -> None:

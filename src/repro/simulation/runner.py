@@ -1,33 +1,54 @@
-"""Declarative experiment runner.
+"""Experiment execution: specs in, results out.
 
-A :class:`RunSpec` fully describes a single run (workload, topology,
-algorithm, parameters, seed) using only names and plain values, so specs are
-picklable and can be executed either sequentially (:class:`ExperimentRunner`)
-or in a process pool (:mod:`repro.simulation.parallel`).  The runner handles
-the paper's methodology details: repetitions with distinct seeds, averaging,
-and building a fat-tree topology sized to the workload by default.
+The canonical description of a run is an
+:class:`~repro.experiments.specs.ExperimentSpec`;
+:func:`execute_experiment_spec` turns one repetition of a spec into a
+:class:`~repro.simulation.results.RunResult` (stamped with the originating
+spec for provenance).  :class:`ExperimentRunner` layers the paper's
+methodology on top: repetitions with spawned seeds, averaging, and shared
+traces for algorithm comparisons.
+
+:class:`RunSpec` is the legacy flat description kept for backward
+compatibility; it converts losslessly via :meth:`RunSpec.to_experiment_spec`
+and every entry point accepts either form.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
-from ..config import MatchingConfig, SimulationConfig
-from ..core.registry import make_algorithm
+from ..config import SimulationConfig
 from ..errors import ConfigurationError
-from ..topology.registry import make_topology
+from ..experiments.observers import SimulationObserver
+from ..experiments.specs import (
+    AlgorithmSpec,
+    ExperimentSpec,
+    TopologySpec,
+    TrafficSpec,
+    spawn_seeds,
+)
 from ..traffic.base import Trace
-from ..traffic.registry import make_workload
 from .engine import run_simulation
 from .results import AggregateResult, RunResult, aggregate_runs
 
-__all__ = ["RunSpec", "ExperimentRunner", "execute_run_spec"]
+__all__ = [
+    "RunSpec",
+    "AnySpec",
+    "ExperimentRunner",
+    "execute_run_spec",
+    "execute_experiment_spec",
+    "as_experiment_spec",
+]
 
 
 @dataclass(frozen=True)
 class RunSpec:
-    """A fully declarative description of one simulation run.
+    """Legacy flat description of one run (see :class:`ExperimentSpec`).
+
+    Kept as a stable shim: all fields and semantics are unchanged, and
+    :meth:`to_experiment_spec` converts to the structured spec tree that the
+    execution paths now consume.
 
     Attributes
     ----------
@@ -42,8 +63,8 @@ class RunSpec:
     workload_kwargs, topology_kwargs, algorithm_kwargs:
         Extra keyword arguments forwarded to the respective factories.
     seed:
-        Seed for both workload generation and algorithm randomness (the
-        runner derives distinct sub-seeds for each).
+        Seed for both workload generation and algorithm randomness (distinct
+        sub-seeds are spawned for each).
     checkpoints:
         Number of recorded checkpoints.
     """
@@ -63,79 +84,141 @@ class RunSpec:
         """The same spec with a different seed (used for repetitions)."""
         return replace(self, seed=seed)
 
+    def to_experiment_spec(self) -> ExperimentSpec:
+        """The equivalent structured :class:`ExperimentSpec`."""
+        return ExperimentSpec(
+            algorithm=AlgorithmSpec(
+                name=self.algorithm,
+                b=self.b,
+                alpha=self.alpha,
+                params=dict(self.algorithm_kwargs),
+            ),
+            traffic=TrafficSpec(name=self.workload, params=dict(self.workload_kwargs)),
+            topology=TopologySpec(name=self.topology, params=dict(self.topology_kwargs)),
+            simulation=SimulationConfig(checkpoints=self.checkpoints),
+            seed=self.seed,
+        )
 
-def _build_trace(spec: RunSpec) -> Trace:
-    kwargs = dict(spec.workload_kwargs)
-    kwargs.setdefault("seed", spec.seed)
-    return make_workload(spec.workload, **kwargs)
+
+AnySpec = Union[RunSpec, ExperimentSpec]
 
 
-def _build_topology(spec: RunSpec, trace: Trace):
-    kwargs = dict(spec.topology_kwargs)
-    if "n_racks" not in kwargs and spec.topology not in ("torus", "hypercube"):
-        kwargs["n_racks"] = trace.n_nodes
-    return make_topology(spec.topology, **kwargs)
+def as_experiment_spec(spec: AnySpec) -> ExperimentSpec:
+    """Normalise a :class:`RunSpec` or :class:`ExperimentSpec` to the latter."""
+    if isinstance(spec, ExperimentSpec):
+        return spec
+    if isinstance(spec, RunSpec):
+        return spec.to_experiment_spec()
+    if isinstance(spec, Mapping):
+        return ExperimentSpec.from_dict(spec)
+    raise ConfigurationError(
+        f"expected an ExperimentSpec, RunSpec, or mapping, got {type(spec).__name__}"
+    )
 
 
-def execute_run_spec(spec: RunSpec, trace: Optional[Trace] = None) -> RunResult:
-    """Execute a single :class:`RunSpec` and return its :class:`RunResult`.
+def execute_experiment_spec(
+    spec: ExperimentSpec,
+    trace: Optional[Trace] = None,
+    observers: Iterable[SimulationObserver] = (),
+    validate: bool = False,
+) -> RunResult:
+    """Execute one repetition of ``spec`` and return its :class:`RunResult`.
+
+    Trace and algorithm randomness use sub-seeds spawned from ``spec.seed``
+    (see :meth:`ExperimentSpec.run_seeds`) so the two streams are decoupled
+    but fully reproducible.  The returned result carries ``spec.to_dict()``
+    in its ``spec`` field and ``spec.seed`` as its recorded seed.
 
     Parameters
     ----------
     spec:
-        The run description.
+        The experiment description (``repeats`` is ignored here — this is one
+        run; see :class:`ExperimentRunner` or :func:`~repro.simulation.sweep.run_experiments`).
     trace:
         Optionally a pre-generated trace (so several algorithms can share the
         exact same workload, as the paper's figures require); if omitted the
         workload is generated from the spec.
+    observers, validate:
+        Forwarded to :func:`~repro.simulation.engine.run_simulation`.
     """
-    trace = trace if trace is not None else _build_trace(spec)
-    topology = _build_topology(spec, trace)
-    config = MatchingConfig(b=spec.b, alpha=spec.alpha)
-    # Algorithm randomness gets a seed derived from the spec seed so that
-    # workload and algorithm randomness are decoupled but reproducible.
-    algo_seed = None if spec.seed is None else spec.seed * 7919 + 13
-    algorithm = make_algorithm(
-        spec.algorithm, topology, config, rng=algo_seed, **dict(spec.algorithm_kwargs)
+    spec.validate()
+    trace_seed, algo_seed = spec.run_seeds()
+    trace = trace if trace is not None else spec.build_trace(trace_seed)
+    topology = spec.build_topology(trace)
+    algorithm = spec.build_algorithm(topology, algo_seed)
+    sim_config = replace(spec.simulation, seed=spec.seed)
+    result = run_simulation(
+        algorithm, trace, sim_config, validate=validate, observers=observers
     )
-    sim_config = SimulationConfig(checkpoints=spec.checkpoints, seed=spec.seed)
-    return run_simulation(algorithm, trace, sim_config)
+    return replace(result, spec=spec.to_dict())
+
+
+def execute_run_spec(
+    spec: AnySpec,
+    trace: Optional[Trace] = None,
+    observers: Iterable[SimulationObserver] = (),
+    validate: bool = False,
+) -> RunResult:
+    """Execute a single spec (legacy or structured) and return its result."""
+    return execute_experiment_spec(
+        as_experiment_spec(spec), trace=trace, observers=observers, validate=validate
+    )
 
 
 class ExperimentRunner:
     """Runs groups of specs sharing a workload, with repetitions and averaging.
 
+    The runner drives the repeat/seed policy: each repetition gets a seed
+    spawned from ``base_seed`` via :class:`numpy.random.SeedSequence` (the
+    paper repeats every simulation five times and averages).  Specs may be
+    legacy :class:`RunSpec` or structured :class:`ExperimentSpec` objects;
+    a spec's own ``repeats``/``seed`` fields are superseded by the runner's
+    policy here (use :meth:`ExperimentSpec.run` or
+    :func:`~repro.simulation.sweep.run_experiments` for spec-driven runs).
+
     Parameters
     ----------
     repetitions:
         Number of independent repetitions per configuration (the paper uses
-        five); each repetition uses a different derived seed for both the
+        five); each repetition uses a different spawned seed for both the
         workload and the algorithm randomness.
     base_seed:
-        Seed from which repetition seeds are derived.
+        Seed from which repetition seeds are spawned.
+    observers:
+        Observers attached to every run the runner executes.
     """
 
-    def __init__(self, repetitions: int = 1, base_seed: int = 0):
+    def __init__(
+        self,
+        repetitions: int = 1,
+        base_seed: int = 0,
+        observers: Iterable[SimulationObserver] = (),
+    ):
         if repetitions < 1:
             raise ConfigurationError(f"repetitions must be >= 1, got {repetitions}")
         self.repetitions = repetitions
         self.base_seed = base_seed
+        self.observers = tuple(observers)
 
     def repetition_seeds(self) -> List[int]:
-        """The derived seeds, one per repetition."""
-        return [self.base_seed + 1000 * r for r in range(self.repetitions)]
+        """The spawned seeds, one per repetition (deterministic in ``base_seed``)."""
+        return spawn_seeds(self.base_seed, self.repetitions)
 
-    def run(self, spec: RunSpec) -> AggregateResult:
+    def run(self, spec: AnySpec) -> AggregateResult:
         """Run one configuration for all repetitions and average the results."""
-        runs = [execute_run_spec(spec.with_seed(seed)) for seed in self.repetition_seeds()]
+        experiment = as_experiment_spec(spec)
+        runs = [
+            execute_experiment_spec(experiment.with_seed(seed), observers=self.observers)
+            for seed in self.repetition_seeds()
+        ]
         return aggregate_runs(runs)
 
-    def run_many(self, specs: Sequence[RunSpec]) -> List[AggregateResult]:
+    def run_many(self, specs: Sequence[AnySpec]) -> List[AggregateResult]:
         """Run several configurations sequentially."""
         return [self.run(spec) for spec in specs]
 
     def compare_on_shared_trace(
-        self, specs: Sequence[RunSpec]
+        self, specs: Sequence[AnySpec]
     ) -> Dict[str, AggregateResult]:
         """Run several algorithm specs on the *same* generated workloads.
 
@@ -146,18 +229,24 @@ class ExperimentRunner:
         """
         if not specs:
             raise ConfigurationError("compare_on_shared_trace needs at least one spec")
-        workload_ids = {(s.workload, tuple(sorted(s.workload_kwargs.items()))) for s in specs}
-        if len(workload_ids) != 1:
+        experiments = [as_experiment_spec(spec) for spec in specs]
+        if any(e.traffic != experiments[0].traffic for e in experiments[1:]):
             raise ConfigurationError(
                 "compare_on_shared_trace requires all specs to share the same workload"
             )
-        per_spec_runs: Dict[int, List[RunResult]] = {i: [] for i in range(len(specs))}
+        per_spec_runs: Dict[int, List[RunResult]] = {i: [] for i in range(len(experiments))}
         for seed in self.repetition_seeds():
-            shared_trace = _build_trace(specs[0].with_seed(seed))
-            for i, spec in enumerate(specs):
-                per_spec_runs[i].append(execute_run_spec(spec.with_seed(seed), trace=shared_trace))
+            seeded = [experiment.with_seed(seed) for experiment in experiments]
+            # All seeded specs share traffic and seed, hence the same trace.
+            shared_trace = seeded[0].build_trace()
+            for i, experiment in enumerate(seeded):
+                per_spec_runs[i].append(
+                    execute_experiment_spec(
+                        experiment, trace=shared_trace, observers=self.observers
+                    )
+                )
         results: Dict[str, AggregateResult] = {}
-        for i, spec in enumerate(specs):
+        for i in range(len(experiments)):
             agg = aggregate_runs(per_spec_runs[i])
             results[agg.label] = agg
         return results

@@ -1,22 +1,74 @@
-"""Parameter sweeps.
+"""Parameter sweeps as spec expansion.
 
-:func:`run_sweep` expands a :class:`~repro.config.SweepConfig` into run specs
-over a single workload and executes them (optionally in parallel), returning
-aggregated results per (algorithm, b, alpha) combination.  This powers the
-cache-size and reconfiguration-cost ablation benchmarks.
+A sweep is nothing but a list of :class:`~repro.experiments.specs.ExperimentSpec`
+objects — usually produced by :func:`~repro.experiments.specs.expand_grid` —
+executed by :func:`run_experiments`, which handles per-spec repetitions
+(seeds spawned from each spec's base seed), optional process-pool fan-out,
+and aggregation.  :func:`run_sweep` keeps the classic
+:class:`~repro.config.SweepConfig` entry point, now implemented as a grid
+expansion over ``algorithm.name`` × ``algorithm.b`` × ``algorithm.alpha``.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from ..config import SweepConfig
 from ..errors import ConfigurationError
+from ..experiments.observers import SimulationObserver
+from ..experiments.specs import ExperimentSpec, expand_grid
 from .parallel import run_specs_parallel
-from .results import AggregateResult, aggregate_runs
-from .runner import ExperimentRunner, RunSpec
+from .results import AggregateResult, RunResult, aggregate_runs
+from .runner import AnySpec, as_experiment_spec, execute_experiment_spec
 
-__all__ = ["run_sweep"]
+__all__ = ["run_experiments", "run_sweep"]
+
+
+def run_experiments(
+    specs: Sequence[AnySpec],
+    n_workers: int = 1,
+    observers: Iterable[SimulationObserver] = (),
+) -> List[AggregateResult]:
+    """Execute each spec with its own repeat/seed policy and aggregate.
+
+    Every spec contributes ``spec.repeats`` runs, seeded by
+    :meth:`~repro.experiments.specs.ExperimentSpec.repetition_seeds` (spawned
+    from the spec's base seed).  Results come back in spec order.
+
+    Parameters
+    ----------
+    specs:
+        The experiments (legacy :class:`~repro.simulation.runner.RunSpec`,
+        structured :class:`~repro.experiments.specs.ExperimentSpec`, or plain
+        spec dicts).
+    n_workers:
+        If greater than 1, individual runs are distributed over a process
+        pool of that size.
+    observers:
+        Attached to every run when executing in-process (``n_workers <= 1``);
+        observers are not shipped to pool workers.
+    """
+    experiments = [as_experiment_spec(spec) for spec in specs]
+    if not experiments:
+        return []
+    expanded: List[ExperimentSpec] = []
+    group_sizes: List[int] = []
+    for experiment in experiments:
+        seeds = experiment.repetition_seeds()
+        group_sizes.append(len(seeds))
+        expanded.extend(experiment.with_seed(seed) for seed in seeds)
+
+    if n_workers <= 1:
+        flat = [execute_experiment_spec(spec, observers=observers) for spec in expanded]
+    else:
+        flat = run_specs_parallel(expanded, n_workers=n_workers)
+
+    results: List[AggregateResult] = []
+    cursor = 0
+    for size in group_sizes:
+        results.append(aggregate_runs(flat[cursor : cursor + size]))
+        cursor += size
+    return results
 
 
 def run_sweep(
@@ -29,6 +81,7 @@ def run_sweep(
     base_seed: int = 0,
     checkpoints: int = 10,
     n_workers: int = 1,
+    observers: Iterable[SimulationObserver] = (),
 ) -> List[AggregateResult]:
     """Run every (algorithm, b, alpha) combination of ``sweep`` on one workload.
 
@@ -41,40 +94,32 @@ def run_sweep(
     topology, topology_kwargs:
         Registered topology name and constructor arguments.
     repetitions, base_seed, checkpoints:
-        Execution parameters (see :class:`~repro.simulation.runner.ExperimentRunner`).
+        Execution parameters; repetition seeds are spawned from ``base_seed``
+        via :class:`numpy.random.SeedSequence` so every configuration replays
+        the same per-repetition workloads.
     n_workers:
         If greater than 1, the individual runs are distributed over a process
         pool of that size.
+    observers:
+        Attached to in-process runs (``n_workers <= 1``).
     """
     if repetitions < 1:
         raise ConfigurationError(f"repetitions must be >= 1, got {repetitions}")
-    specs: List[RunSpec] = []
-    for algorithm, b, alpha in sweep.combinations():
-        specs.append(
-            RunSpec(
-                algorithm=algorithm,
-                workload=workload,
-                b=b,
-                alpha=alpha,
-                topology=topology,
-                workload_kwargs=dict(workload_kwargs or {}),
-                topology_kwargs=dict(topology_kwargs or {}),
-                checkpoints=checkpoints,
-            )
-        )
-
-    runner = ExperimentRunner(repetitions=repetitions, base_seed=base_seed)
-    if n_workers <= 1:
-        return runner.run_many(specs)
-
-    # Parallel path: expand repetitions into individual picklable specs.
-    expanded: List[RunSpec] = []
-    for spec in specs:
-        for seed in runner.repetition_seeds():
-            expanded.append(spec.with_seed(seed))
-    results = run_specs_parallel(expanded, n_workers=n_workers)
-    # Re-group the flat result list into per-configuration aggregates.
-    grouped: Dict[int, list] = {i: [] for i in range(len(specs))}
-    for idx, result in zip(range(len(expanded)), results):
-        grouped[idx // repetitions].append(result)
-    return [aggregate_runs(runs) for runs in grouped.values()]
+    base = ExperimentSpec(
+        algorithm={"name": sweep.algorithms[0], "b": int(sweep.b_values[0]),
+                   "alpha": float(sweep.alpha_values[0])},
+        traffic={"name": workload, "params": dict(workload_kwargs or {})},
+        topology={"name": topology, "params": dict(topology_kwargs or {})},
+        simulation={"checkpoints": checkpoints},
+        repeats=repetitions,
+        seed=base_seed,
+    )
+    specs = expand_grid(
+        base,
+        {
+            "algorithm.name": list(sweep.algorithms),
+            "algorithm.b": [int(b) for b in sweep.b_values],
+            "algorithm.alpha": [float(a) for a in sweep.alpha_values],
+        },
+    )
+    return run_experiments(specs, n_workers=n_workers, observers=observers)

@@ -1,15 +1,17 @@
 """Name-based topology registry.
 
-Experiment configuration files and the benchmark harness refer to topologies
-by name (e.g. ``"fat-tree"``); the registry maps those names to constructors
-so sweeps can be described declaratively.
+Experiment specs and the benchmark harness refer to topologies by name
+(e.g. ``"fat-tree"``); the registry maps those names to constructors so
+sweeps can be described declaratively.  It is an instance of the generic
+:class:`repro.experiments.Registry`; the module-level functions are
+back-compat shims over it.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict
+from typing import Any, Callable
 
-from ..errors import ConfigurationError
+from ..experiments.registry import Registry
 from .base import Topology
 from .expander import ExpanderTopology
 from .fattree import FatTreeTopology
@@ -19,22 +21,20 @@ from .ring import RingTopology
 from .star import StarTopology
 from .torus import TorusTopology
 
-__all__ = ["register_topology", "make_topology", "available_topologies"]
+__all__ = ["TOPOLOGIES", "register_topology", "make_topology", "available_topologies"]
 
-_REGISTRY: Dict[str, Callable[..., Topology]] = {}
+#: The topology registry — the single source of truth for topology names.
+TOPOLOGIES: Registry[Topology] = Registry("topology")
 
 
 def register_topology(name: str, factory: Callable[..., Topology]) -> None:
     """Register a topology constructor under ``name`` (lower-cased)."""
-    key = name.lower()
-    if key in _REGISTRY:
-        raise ConfigurationError(f"topology {name!r} is already registered")
-    _REGISTRY[key] = factory
+    TOPOLOGIES.register(name, factory)
 
 
 def available_topologies() -> list[str]:
     """Names of all registered topologies, sorted."""
-    return sorted(_REGISTRY)
+    return TOPOLOGIES.names()
 
 
 def make_topology(name: str, **kwargs: Any) -> Topology:
@@ -46,20 +46,13 @@ def make_topology(name: str, **kwargs: Any) -> Topology:
     >>> topo.n_racks
     8
     """
-    key = name.lower()
-    if key not in _REGISTRY:
-        raise ConfigurationError(
-            f"unknown topology {name!r}; available: {', '.join(available_topologies())}"
-        )
-    return _REGISTRY[key](**kwargs)
+    return TOPOLOGIES.build(name, **kwargs)
 
 
-register_topology("fat-tree", FatTreeTopology)
-register_topology("fattree", FatTreeTopology)
-register_topology("leaf-spine", LeafSpineTopology)
-register_topology("leafspine", LeafSpineTopology)
-register_topology("star", StarTopology)
-register_topology("ring", RingTopology)
-register_topology("torus", TorusTopology)
-register_topology("hypercube", HypercubeTopology)
-register_topology("expander", ExpanderTopology)
+TOPOLOGIES.register("fat-tree", FatTreeTopology, aliases=("fattree",))
+TOPOLOGIES.register("leaf-spine", LeafSpineTopology, aliases=("leafspine",))
+TOPOLOGIES.register("star", StarTopology)
+TOPOLOGIES.register("ring", RingTopology)
+TOPOLOGIES.register("torus", TorusTopology)
+TOPOLOGIES.register("hypercube", HypercubeTopology)
+TOPOLOGIES.register("expander", ExpanderTopology)

@@ -2,37 +2,37 @@
 
 The benchmark harness and the sweep runner describe workloads by name
 (``"facebook-database"``, ``"microsoft"``, ...), so a single declarative
-configuration can drive all of the paper's figures.
+configuration can drive all of the paper's figures.  The registry is an
+instance of the generic :class:`repro.experiments.Registry`; the module-level
+functions are back-compat shims over it.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict
+from typing import Any, Callable
 
-from ..errors import ConfigurationError
+from ..experiments.registry import Registry
 from .base import Trace
 from .facebook import database_trace, hadoop_trace, web_service_trace
 from .microsoft import microsoft_trace
 from .synthetic import hotspot_trace, permutation_trace, uniform_random_trace, zipf_pair_trace
 
-__all__ = ["available_workloads", "make_workload", "register_workload"]
+__all__ = ["WORKLOADS", "available_workloads", "make_workload", "register_workload"]
 
 WorkloadFactory = Callable[..., Trace]
 
-_REGISTRY: Dict[str, WorkloadFactory] = {}
+#: The workload registry — the single source of truth for workload names.
+WORKLOADS: Registry[Trace] = Registry("workload")
 
 
 def register_workload(name: str, factory: WorkloadFactory) -> None:
     """Register a workload generator under ``name`` (lower-cased)."""
-    key = name.lower()
-    if key in _REGISTRY:
-        raise ConfigurationError(f"workload {name!r} is already registered")
-    _REGISTRY[key] = factory
+    WORKLOADS.register(name, factory)
 
 
 def available_workloads() -> list[str]:
     """Names of the registered workloads, sorted."""
-    return sorted(_REGISTRY)
+    return WORKLOADS.names()
 
 
 def make_workload(name: str, **kwargs: Any) -> Trace:
@@ -44,19 +44,14 @@ def make_workload(name: str, **kwargs: Any) -> Trace:
     >>> len(trace)
     100
     """
-    key = name.lower()
-    if key not in _REGISTRY:
-        raise ConfigurationError(
-            f"unknown workload {name!r}; available: {', '.join(available_workloads())}"
-        )
-    return _REGISTRY[key](**kwargs)
+    return WORKLOADS.build(name, **kwargs)
 
 
-register_workload("uniform", uniform_random_trace)
-register_workload("zipf", zipf_pair_trace)
-register_workload("hotspot", hotspot_trace)
-register_workload("permutation", permutation_trace)
-register_workload("facebook-database", database_trace)
-register_workload("facebook-web", web_service_trace)
-register_workload("facebook-hadoop", hadoop_trace)
-register_workload("microsoft", microsoft_trace)
+WORKLOADS.register("uniform", uniform_random_trace)
+WORKLOADS.register("zipf", zipf_pair_trace)
+WORKLOADS.register("hotspot", hotspot_trace)
+WORKLOADS.register("permutation", permutation_trace)
+WORKLOADS.register("facebook-database", database_trace)
+WORKLOADS.register("facebook-web", web_service_trace)
+WORKLOADS.register("facebook-hadoop", hadoop_trace)
+WORKLOADS.register("microsoft", microsoft_trace)

@@ -6,9 +6,18 @@ from repro.cli import build_parser, main
 
 
 class TestParser:
-    def test_requires_command(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args([])
+    def test_no_command_prints_usage_and_exits_zero(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "usage:" in out
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
 
     def test_defaults(self):
         args = build_parser().parse_args(["simulate"])
@@ -65,3 +74,106 @@ class TestCommands:
             "--algorithm", "does-not-exist",
         ])
         assert code == 2
+
+    def test_typo_error_message_suggests_correction(self, capsys):
+        code = main([
+            "simulate", "--workload", "zipf", "--nodes", "8", "--requests", "100",
+            "--algorithm", "rmba",
+        ])
+        assert code == 2
+        assert "did you mean 'rbma'" in capsys.readouterr().err
+
+    def test_sweep(self, capsys):
+        code = main([
+            "sweep", "--workload", "zipf", "--nodes", "10", "--requests", "200",
+            "--b-values", "1", "2", "--algorithms", "rbma", "oblivious",
+            "--checkpoints", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rbma (b: 2)" in out
+        assert "reduction vs oblivious" in out
+
+    def test_sweep_with_multiple_alphas_keeps_every_row(self, capsys):
+        code = main([
+            "sweep", "--workload", "zipf", "--nodes", "10", "--requests", "200",
+            "--b-values", "2", "--alpha-values", "4", "8", "--algorithms", "rbma",
+            "--checkpoints", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rbma (b: 2, alpha: 4)" in out
+        assert "rbma (b: 2, alpha: 8)" in out
+
+    def test_list_includes_paging_policies(self, capsys):
+        assert main(["list"]) == 0
+        assert "marking" in capsys.readouterr().out
+
+
+class TestRunSpecFile:
+    def _write_spec(self, path, **overrides):
+        import json
+
+        data = {
+            "algorithm": {"name": "rbma", "b": 2, "alpha": 4},
+            "traffic": {"name": "zipf",
+                        "params": {"n_nodes": 10, "n_requests": 250, "exponent": 1.3}},
+            "simulation": {"checkpoints": 4},
+            "seed": 11,
+        }
+        data.update(overrides)
+        path.write_text(json.dumps(data))
+        return data
+
+    def test_run_spec_json(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        self._write_spec(spec_path)
+        assert main(["run", str(spec_path)]) == 0
+        out = capsys.readouterr().out
+        assert "final routing cost" in out
+        assert "rbma (b: 2)" in out
+
+    def test_run_reproduces_hand_constructed_simulation(self, tmp_path, capsys):
+        """Acceptance: a pure-JSON experiment equals the imperative API call."""
+        import json
+
+        from repro import ExperimentSpec, MatchingConfig, run_simulation
+        from repro.core import RBMA
+        from repro.topology import FatTreeTopology
+        from repro.traffic import zipf_pair_trace
+
+        spec_path, out_path = tmp_path / "spec.json", tmp_path / "results.json"
+        self._write_spec(spec_path)
+        assert main(["run", str(spec_path), "--out", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+
+        spec = ExperimentSpec.load_json(spec_path)
+        run_seed = spec.repetition_seeds()[0]
+        trace_seed, algo_seed = spec.with_seed(run_seed).run_seeds()
+        trace = zipf_pair_trace(n_nodes=10, n_requests=250, exponent=1.3, seed=trace_seed)
+        algo = RBMA(FatTreeTopology(n_racks=10), MatchingConfig(b=2, alpha=4),
+                    rng=algo_seed)
+        expected = run_simulation(algo, trace)
+        assert payload["runs"][0]["total_routing_cost"] == expected.total_routing_cost
+        assert payload["aggregate"]["routing_cost_mean"] == expected.total_routing_cost
+        assert payload["spec"] == spec.to_dict()
+
+    def test_run_with_repeats_and_progress(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        self._write_spec(spec_path)
+        assert main(["run", str(spec_path), "--repeats", "2", "--progress"]) == 0
+        captured = capsys.readouterr()
+        assert "final routing cost" in captured.out
+        assert "[repro]" in captured.err  # progress observer output
+
+    def test_run_missing_file_returns_error_code(self, tmp_path, capsys):
+        code = main(["run", str(tmp_path / "missing.json")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_invalid_spec_returns_error_code(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        self._write_spec(spec_path, algorithm={"name": "rmba", "b": 2})
+        code = main(["run", str(spec_path)])
+        assert code == 2
+        assert "did you mean 'rbma'" in capsys.readouterr().err

@@ -1,0 +1,186 @@
+"""Tests for the engine's observer protocol."""
+
+import io
+
+import pytest
+
+from repro.config import MatchingConfig, SimulationConfig
+from repro.errors import SimulationError
+from repro.experiments import (
+    CostTraceObserver,
+    ExperimentSpec,
+    ObserverList,
+    ProgressObserver,
+    SimulationObserver,
+    ValidationObserver,
+)
+from repro.core import ObliviousRouting, RBMA
+from repro.simulation import run_simulation
+from repro.topology import LeafSpineTopology
+from repro.traffic import zipf_pair_trace
+
+
+@pytest.fixture
+def trace():
+    return zipf_pair_trace(n_nodes=8, n_requests=120, seed=2)
+
+
+@pytest.fixture
+def topology():
+    return LeafSpineTopology(n_racks=8)
+
+
+class RecordingObserver(SimulationObserver):
+    def __init__(self, batch_interval=None):
+        self.batch_interval = batch_interval
+        self.calls = []
+        self.batches = []
+
+    def on_start(self, context):
+        self.calls.append("start")
+
+    def on_request_batch(self, context, start, stop):
+        self.calls.append("batch")
+        self.batches.append((start, stop))
+
+    def on_checkpoint(self, context, event):
+        self.calls.append("checkpoint")
+
+    def on_end(self, context, result):
+        self.calls.append("end")
+        self.result = result
+
+
+class TestHookSequence:
+    def test_start_and_end_called_once(self, topology, trace):
+        obs = RecordingObserver()
+        result = run_simulation(ObliviousRouting(topology, MatchingConfig(b=2)), trace,
+                                SimulationConfig(checkpoints=5), observers=[obs])
+        assert obs.calls[0] == "start"
+        assert obs.calls[-1] == "end"
+        assert obs.calls.count("start") == 1
+        assert obs.calls.count("end") == 1
+        assert obs.result is result
+
+    def test_checkpoints_match_series(self, topology, trace):
+        obs = RecordingObserver()
+        result = run_simulation(ObliviousRouting(topology, MatchingConfig(b=2)), trace,
+                                SimulationConfig(checkpoints=6), observers=[obs])
+        assert obs.calls.count("checkpoint") == len(result.series.requests)
+
+    def test_batches_cover_trace_without_overlap(self, topology, trace):
+        obs = RecordingObserver()
+        run_simulation(ObliviousRouting(topology, MatchingConfig(b=2)), trace,
+                       SimulationConfig(checkpoints=5), observers=[obs])
+        # Consecutive, gap-free, and ending at the last request.
+        assert obs.batches[0][0] == 0
+        for (_, stop), (start, _) in zip(obs.batches, obs.batches[1:]):
+            assert start == stop
+        assert obs.batches[-1][1] == len(trace)
+
+    def test_batch_interval_one_fires_per_request(self, topology, trace):
+        obs = RecordingObserver(batch_interval=1)
+        run_simulation(ObliviousRouting(topology, MatchingConfig(b=2)), trace,
+                       SimulationConfig(checkpoints=5), observers=[obs])
+        assert len(obs.batches) == len(trace)
+        assert all(stop - start == 1 for start, stop in obs.batches)
+
+    def test_no_observers_no_overhead_path(self, topology, trace):
+        # The engine result is identical with and without observers attached.
+        a = run_simulation(ObliviousRouting(topology, MatchingConfig(b=2)), trace,
+                           SimulationConfig(checkpoints=5))
+        b = run_simulation(ObliviousRouting(topology, MatchingConfig(b=2)), trace,
+                           SimulationConfig(checkpoints=5),
+                           observers=[RecordingObserver(batch_interval=1)])
+        assert a.total_routing_cost == b.total_routing_cost
+        assert (a.series.routing_cost == b.series.routing_cost).all()
+
+    def test_non_observer_rejected(self, topology, trace):
+        with pytest.raises(SimulationError, match="SimulationObserver"):
+            run_simulation(ObliviousRouting(topology, MatchingConfig(b=2)), trace,
+                           observers=[object()])
+
+
+class TestObserverList:
+    def test_fans_out_in_order(self):
+        a, b = RecordingObserver(), RecordingObserver()
+        fan = ObserverList([a, b])
+        fan.on_start(None)
+        assert a.calls == ["start"] and b.calls == ["start"]
+
+    def test_min_batch_interval_wins(self):
+        fan = ObserverList([RecordingObserver(), RecordingObserver(batch_interval=3),
+                            RecordingObserver(batch_interval=7)])
+        assert fan.batch_interval == 3
+        assert ObserverList([RecordingObserver()]).batch_interval is None
+
+
+class TestBundledObservers:
+    def test_validation_observer_checks_every_request(self, topology, trace):
+        obs = ValidationObserver()
+        run_simulation(RBMA(topology, MatchingConfig(b=2, alpha=4), rng=0), trace,
+                       SimulationConfig(checkpoints=5), observers=[obs])
+        assert obs.checks == len(trace)
+
+    def test_validation_observer_checkpoint_mode(self, topology, trace):
+        obs = ValidationObserver(every_request=False)
+        result = run_simulation(RBMA(topology, MatchingConfig(b=2, alpha=4), rng=0), trace,
+                                SimulationConfig(checkpoints=5), observers=[obs])
+        assert obs.checks == len(result.series.requests)
+
+    def test_legacy_validate_flag_still_works(self, topology, trace):
+        result = run_simulation(RBMA(topology, MatchingConfig(b=2, alpha=4), rng=0), trace,
+                                SimulationConfig(checkpoints=5), validate=True)
+        assert result.total_routing_cost >= 0
+
+    def test_cost_trace_observer_mirrors_series(self, topology, trace):
+        obs = CostTraceObserver()
+        result = run_simulation(ObliviousRouting(topology, MatchingConfig(b=2)), trace,
+                                SimulationConfig(checkpoints=5), observers=[obs])
+        assert [e.requests_served for e in obs.events] == result.series.requests.tolist()
+        assert [e.routing_cost for e in obs.events] == result.series.routing_cost.tolist()
+        assert obs.events[-1].total_cost == result.total_cost
+        assert obs.result is result
+
+    def test_cost_trace_observer_callback(self, topology, trace):
+        seen = []
+        obs = CostTraceObserver(callback=seen.append)
+        run_simulation(ObliviousRouting(topology, MatchingConfig(b=2)), trace,
+                       SimulationConfig(checkpoints=4), observers=[obs])
+        assert seen == obs.events
+
+    def test_progress_observer_writes_to_stream(self, topology, trace):
+        stream = io.StringIO()
+        obs = ProgressObserver(stream=stream)
+        run_simulation(ObliviousRouting(topology, MatchingConfig(b=2)), trace,
+                       SimulationConfig(checkpoints=3), observers=[obs])
+        output = stream.getvalue()
+        assert "oblivious on zipf" in output
+        assert "done:" in output
+        assert "100.0%" in output
+
+
+class TestSpecIntegration:
+    def test_observers_via_spec_execute(self, topology):
+        obs = CostTraceObserver()
+        spec = ExperimentSpec(
+            algorithm={"name": "oblivious", "b": 2},
+            traffic={"name": "zipf", "params": {"n_nodes": 8, "n_requests": 80}},
+            simulation={"checkpoints": 4},
+            seed=1,
+        )
+        result = spec.execute(observers=[obs])
+        assert obs.result is not None
+        assert obs.result.total_routing_cost == result.total_routing_cost
+
+    def test_runner_attaches_observers(self):
+        obs = CostTraceObserver()
+        from repro.simulation import ExperimentRunner
+
+        spec = ExperimentSpec(
+            algorithm={"name": "oblivious", "b": 2},
+            traffic={"name": "zipf", "params": {"n_nodes": 8, "n_requests": 80}},
+            simulation={"checkpoints": 4},
+        )
+        ExperimentRunner(repetitions=2, base_seed=0, observers=[obs]).run(spec)
+        assert len(obs.events) == 8  # 4 checkpoints × 2 repetitions

@@ -1,0 +1,137 @@
+"""Tests for the generic name → factory registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import Registry
+
+pytestmark = pytest.mark.smoke
+
+
+@pytest.fixture
+def registry() -> Registry:
+    r: Registry = Registry("widget")
+    r.register("gadget", lambda **kw: ("gadget", kw))
+    r.register("gizmo", lambda **kw: ("gizmo", kw), aliases=("gismo",))
+    return r
+
+
+class TestRegistration:
+    def test_register_and_build(self, registry):
+        kind, kwargs = registry.build("gadget", colour="red")
+        assert kind == "gadget"
+        assert kwargs == {"colour": "red"}
+
+    def test_names_include_aliases_sorted(self, registry):
+        assert registry.names() == ["gadget", "gismo", "gizmo"]
+
+    def test_case_insensitive(self, registry):
+        assert registry.resolve("GaDgEt") is registry.resolve("gadget")
+
+    def test_duplicate_rejected(self, registry):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.register("gadget", dict)
+
+    def test_overwrite_allowed_when_requested(self, registry):
+        registry.register("gadget", dict, overwrite=True)
+        assert registry.build("gadget") == {}
+
+    def test_decorator_form(self):
+        r: Registry = Registry("thing")
+
+        @r.register("box")
+        def make_box():
+            return "box!"
+
+        assert r.build("box") == "box!"
+        assert make_box() == "box!"  # the decorator returns the factory
+
+    def test_unregister(self, registry):
+        registry.unregister("gadget")
+        assert "gadget" not in registry
+        with pytest.raises(ConfigurationError):
+            registry.unregister("gadget")
+
+    def test_alias_survives_unregister_of_canonical(self, registry):
+        registry.unregister("gizmo")
+        assert "gismo" in registry
+
+    def test_alias_conflict_leaves_registry_untouched(self, registry):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.register("newcomer", dict, aliases=("gadget",))
+        assert "newcomer" not in registry
+        assert registry.build("gadget") == ("gadget", {})  # original factory intact
+
+
+class TestLookup:
+    def test_container_protocol(self, registry):
+        assert "gadget" in registry
+        assert "nope" not in registry
+        assert 42 not in registry
+        assert len(registry) == 3
+        assert list(registry) == registry.names()
+
+    def test_canonical_resolves_alias(self, registry):
+        assert registry.canonical("gismo") == "gizmo"
+        assert registry.canonical("gizmo") == "gizmo"
+
+    def test_unknown_name_raises_configuration_error(self, registry):
+        with pytest.raises(ConfigurationError, match="unknown widget"):
+            registry.resolve("does-not-exist")
+
+    def test_suggest_close_matches(self, registry):
+        assert "gadget" in registry.suggest("gaget")
+        assert registry.suggest("zzzzz") == []
+
+    def test_typo_message_includes_suggestion(self, registry):
+        with pytest.raises(ConfigurationError, match="did you mean 'gadget'"):
+            registry.resolve("gaget")
+
+    def test_message_lists_available_names(self, registry):
+        with pytest.raises(ConfigurationError, match="available: gadget, gismo, gizmo"):
+            registry.resolve("zzzzz")
+
+
+class TestDomainRegistries:
+    """The four domain registries are instances of the generic Registry."""
+
+    def test_all_four_are_registry_instances(self):
+        from repro.core.registry import ALGORITHMS
+        from repro.paging.registry import PAGING_POLICIES
+        from repro.topology.registry import TOPOLOGIES
+        from repro.traffic.registry import WORKLOADS
+
+        for registry in (ALGORITHMS, TOPOLOGIES, WORKLOADS, PAGING_POLICIES):
+            assert isinstance(registry, Registry)
+
+    def test_topology_typo_suggests_fat_tree(self):
+        from repro.topology import make_topology
+
+        with pytest.raises(ConfigurationError, match="did you mean") as excinfo:
+            make_topology("fatree")
+        assert "fat-tree" in str(excinfo.value)
+
+    def test_algorithm_typo_suggests_rbma(self):
+        from repro.core import make_algorithm
+        from repro.config import MatchingConfig
+        from repro.topology import LeafSpineTopology
+
+        with pytest.raises(ConfigurationError, match="did you mean 'rbma'"):
+            make_algorithm("rmba", LeafSpineTopology(4), MatchingConfig(b=1))
+
+    def test_workload_typo_suggests_facebook(self):
+        from repro.traffic import make_workload
+
+        with pytest.raises(ConfigurationError, match="facebook-database"):
+            make_workload("facebook-databse", n_nodes=4, n_requests=10)
+
+    def test_paging_typo_suggests_marking(self):
+        from repro.paging.registry import make_paging_factory
+
+        with pytest.raises(ConfigurationError, match="did you mean 'marking'"):
+            make_paging_factory("markng")
+
+    def test_so_bma_alias_still_registered(self):
+        from repro.core.registry import ALGORITHMS
+
+        assert ALGORITHMS.canonical("sobma") == "so-bma"

@@ -1,0 +1,107 @@
+"""Spec round-trip contract: serialisation must not change results.
+
+For every registered algorithm, topology and workload family, a spec rebuilt
+from ``spec.to_dict()`` (via JSON) must produce a bit-identical
+:class:`~repro.simulation.results.RunResult` under a fixed seed.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.registry import ALGORITHMS
+from repro.experiments import ExperimentSpec
+from repro.topology.registry import TOPOLOGIES
+from repro.traffic.registry import WORKLOADS
+
+SEED = 424242
+
+#: Constructor parameters for topologies that are not sized by ``n_racks``
+#: (torus, hypercube) or that need a pinned seed to be reproducible (expander
+#: builds a random regular graph).
+TOPOLOGY_PARAMS = {
+    "torus": {"rows": 2, "cols": 4},
+    "hypercube": {"dimension": 3},
+    "expander": {"seed": 7},
+}
+
+#: Workload generator parameters keeping every family tiny but non-trivial.
+WORKLOAD_PARAMS = {
+    "hotspot": {"n_nodes": 10, "n_requests": 150, "n_hot_pairs": 3},
+}
+DEFAULT_WORKLOAD_PARAMS = {"n_nodes": 10, "n_requests": 150}
+
+
+def _canonical_names(registry):
+    return sorted({registry.canonical(name) for name in registry.names()})
+
+
+def _assert_identical(a, b):
+    assert a.total_routing_cost == b.total_routing_cost
+    assert a.total_reconfiguration_cost == b.total_reconfiguration_cost
+    assert a.matched_fraction == b.matched_fraction
+    np.testing.assert_array_equal(a.series.requests, b.series.requests)
+    np.testing.assert_array_equal(a.series.routing_cost, b.series.routing_cost)
+    np.testing.assert_array_equal(a.series.reconfiguration_cost,
+                                  b.series.reconfiguration_cost)
+    np.testing.assert_array_equal(a.series.matched_fraction, b.series.matched_fraction)
+
+
+def _roundtrip_and_run(spec: ExperimentSpec):
+    rebuilt = ExperimentSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert rebuilt == spec
+    _assert_identical(spec.execute(), rebuilt.execute())
+
+
+@pytest.mark.parametrize("algorithm", _canonical_names(ALGORITHMS))
+def test_every_algorithm_roundtrips(algorithm):
+    spec = ExperimentSpec(
+        algorithm={"name": algorithm, "b": 2, "alpha": 4},
+        traffic={"name": "zipf",
+                 "params": {"n_nodes": 10, "n_requests": 150, "exponent": 1.3}},
+        simulation={"checkpoints": 4},
+        seed=SEED,
+    )
+    _roundtrip_and_run(spec)
+
+
+@pytest.mark.parametrize("topology", _canonical_names(TOPOLOGIES))
+def test_every_topology_roundtrips(topology):
+    spec = ExperimentSpec(
+        algorithm={"name": "rbma", "b": 2, "alpha": 4},
+        traffic={"name": "zipf",
+                 "params": {"n_nodes": 8, "n_requests": 120, "exponent": 1.3}},
+        topology={"name": topology, "params": dict(TOPOLOGY_PARAMS.get(topology, {}))},
+        simulation={"checkpoints": 4},
+        seed=SEED,
+    )
+    _roundtrip_and_run(spec)
+
+
+@pytest.mark.parametrize("workload", _canonical_names(WORKLOADS))
+def test_every_workload_roundtrips(workload):
+    params = dict(WORKLOAD_PARAMS.get(workload, DEFAULT_WORKLOAD_PARAMS))
+    spec = ExperimentSpec(
+        algorithm={"name": "rbma", "b": 2, "alpha": 4},
+        traffic={"name": workload, "params": params},
+        simulation={"checkpoints": 4},
+        seed=SEED,
+    )
+    _roundtrip_and_run(spec)
+
+
+@pytest.mark.smoke
+def test_roundtrip_through_cli_payload_shape(tmp_path):
+    """The exact flow behind ``repro run``: file → spec → result → provenance."""
+    spec = ExperimentSpec(
+        algorithm={"name": "rbma", "b": 2, "alpha": 4},
+        traffic={"name": "zipf", "params": {"n_nodes": 8, "n_requests": 100}},
+        seed=SEED,
+    )
+    path = tmp_path / "spec.json"
+    spec.save_json(path)
+    loaded = ExperimentSpec.load_json(path)
+    result = loaded.execute()
+    _assert_identical(result, spec.execute())
+    assert ExperimentSpec.from_dict(result.spec) == spec
