@@ -13,12 +13,14 @@ x-axes) so the whole suite runs in minutes on a laptop.  Set
 
 from __future__ import annotations
 
+import json
 import os
 import subprocess
 import sys
+import time
 from functools import lru_cache
 from pathlib import Path
-from typing import Dict, Mapping, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
 from repro.analysis import format_comparison_table, format_series_table
 from repro.experiments import ExperimentSpec
@@ -29,7 +31,9 @@ __all__ = [
     "bench_repetitions",
     "scaled_requests",
     "preflight",
+    "figure_specs",
     "run_figure_panel",
+    "kernel_benchmark",
     "routing_cost_table",
     "execution_time_table",
     "best_of_table",
@@ -38,6 +42,9 @@ __all__ = [
 ]
 
 OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+#: Where :func:`kernel_benchmark` records reference-vs-fast wall-clock times.
+KERNEL_BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_kernel.json"
 
 #: Paper figure parameters: (workload, racks, full request count, b values).
 FIGURE_SETTINGS = {
@@ -102,23 +109,24 @@ def preflight() -> None:
         )
 
 
-@lru_cache(maxsize=None)
-def run_figure_panel(figure: str) -> Dict[str, AggregateResult]:
-    """Run all configurations behind one figure and cache the results.
+def figure_specs(figure: str, matching_backend: Optional[str] = None) -> list[ExperimentSpec]:
+    """The experiment specs behind one figure panel.
 
-    Returns a mapping from configuration label (``"rbma (b: 12)"``,
-    ``"oblivious (b: ...)"``, ``"so-bma (b: ...)"``) to aggregated results,
-    all replayed on the same generated workload per repetition.
+    ``matching_backend`` selects the b-matching kernel (``"fast"`` is the
+    library default; ``"reference"`` forces the original per-request kernel,
+    used by :func:`kernel_benchmark` for A/B timing).
     """
-    preflight()
     workload, n_racks, full_requests, b_values = FIGURE_SETTINGS[figure]
     n_requests = scaled_requests(full_requests)
 
+    simulation: Dict[str, object] = {"checkpoints": 10}
+    if matching_backend is not None:
+        simulation["matching_backend"] = matching_backend
     base = ExperimentSpec(
         algorithm={"name": "rbma", "b": b_values[0], "alpha": DEFAULT_ALPHA},
         traffic={"name": workload,
                  "params": {"n_nodes": n_racks, "n_requests": n_requests}},
-        simulation={"checkpoints": 10},
+        simulation=simulation,
     )
     specs = base.expand({"algorithm.name": ["rbma", "bma"],
                          "algorithm.b": list(b_values)})
@@ -130,8 +138,80 @@ def run_figure_panel(figure: str) -> Dict[str, AggregateResult]:
                        "algorithm.b": [b_values[-1]],
                        "algorithm.params": [{"solver": "blossom"}]})
     )
+    return specs
+
+
+@lru_cache(maxsize=None)
+def run_figure_panel(figure: str) -> Dict[str, AggregateResult]:
+    """Run all configurations behind one figure and cache the results.
+
+    Returns a mapping from configuration label (``"rbma (b: 12)"``,
+    ``"oblivious (b: ...)"``, ``"so-bma (b: ...)"``) to aggregated results,
+    all replayed on the same generated workload per repetition.
+    """
+    preflight()
     runner = ExperimentRunner(repetitions=bench_repetitions(), base_seed=2023)
-    return runner.compare_on_shared_trace(specs)
+    return runner.compare_on_shared_trace(figure_specs(figure))
+
+
+def kernel_benchmark(
+    figures: Sequence[str] = ("fig1", "fig2", "fig3", "fig4"),
+    output_path: Optional[Path] = None,
+    rounds: int = 3,
+) -> Dict[str, Dict[str, float]]:
+    """Time each figure panel on the reference and fast kernels.
+
+    Every panel is run on both ``matching_backend="reference"`` (the original
+    per-request replay over the set-of-tuples kernel) and
+    ``matching_backend="fast"`` (the array-backed kernel plus the batched
+    engine path) with identical specs and seeds; backends are interleaved for
+    ``rounds`` rounds and the per-backend minimum wall-clock is recorded
+    (best-of-N suppresses scheduler noise), then written with the speedup
+    ratio to ``BENCH_kernel.json`` at the repo root.  The runs produce
+    bit-identical costs (asserted here), so the timing delta is attributable
+    to the kernel and replay path alone.
+    """
+    report: Dict[str, Dict[str, float]] = {}
+    for figure in figures:
+        # Prewarm the shared spec-layer inputs (the topology cache) so both
+        # backends are measured against identical, already-built
+        # infrastructure and the timing delta isolates kernel + replay path.
+        warm_spec = figure_specs(figure)[0].with_seed(2023)
+        warm_spec.build_topology(warm_spec.build_trace())
+        timings: Dict[str, float] = {}
+        totals: Dict[str, Dict[str, float]] = {}
+        for _round in range(max(1, rounds)):
+            for backend in ("reference", "fast"):
+                runner = ExperimentRunner(repetitions=bench_repetitions(), base_seed=2023)
+                specs = figure_specs(figure, matching_backend=backend)
+                started = time.perf_counter()
+                results = runner.compare_on_shared_trace(specs)
+                elapsed = time.perf_counter() - started
+                timings[backend] = min(elapsed, timings.get(backend, elapsed))
+                totals[backend] = {
+                    label: agg.routing_cost_mean for label, agg in results.items()
+                }
+        if totals["reference"] != totals["fast"]:
+            raise RuntimeError(
+                f"{figure}: reference and fast kernels disagree on routing costs; "
+                "run the differential test suite"
+            )
+        report[figure] = {
+            "reference_seconds": round(timings["reference"], 4),
+            "fast_seconds": round(timings["fast"], 4),
+            "speedup": round(timings["reference"] / timings["fast"], 3),
+        }
+    payload = {
+        "description": "Wall-clock seconds per figure panel: reference kernel "
+        "(per-request replay over BMatching) vs fast kernel (FastBMatching + "
+        "batched engine path), identical specs/seeds and bit-identical costs.",
+        "scale": bench_scale(),
+        "repetitions": bench_repetitions(),
+        "figures": report,
+    }
+    path = KERNEL_BENCH_PATH if output_path is None else Path(output_path)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return report
 
 
 def _select(results: Mapping[str, AggregateResult], prefixes: Sequence[str]) -> Dict[str, AggregateResult]:

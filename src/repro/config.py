@@ -74,6 +74,20 @@ class SimulationConfig:
     checkpoints:
         Number of evenly spaced points at which the cumulative routing cost
         and wall-clock time are recorded (the x-axis of the paper's plots).
+
+        Contract: a run over ``n`` requests records exactly
+        ``min(checkpoints, n)`` checkpoints at strictly increasing request
+        counts, the last of which is always ``n``.  Traces shorter than
+        ``checkpoints`` therefore yield one checkpoint per request; they are
+        never silently collapsed below that.
+    matching_backend:
+        Which dynamic b-matching kernel the run uses: ``"fast"`` (the
+        default array-backed kernel, served through the engine's batched
+        replay path) or ``"reference"`` (the original set-of-tuples kernel,
+        replayed request by request — the pre-optimization code path kept
+        for differential testing and kernel benchmarks).  The engine rebinds
+        a freshly constructed algorithm onto the requested backend before
+        the first request; both backends produce bit-identical results.
     seed:
         Seed for the algorithm's internal randomness.  Trace generation has
         its own seed so that algorithm randomness and workload randomness
@@ -87,6 +101,7 @@ class SimulationConfig:
     """
 
     checkpoints: int = 20
+    matching_backend: str = "fast"
     seed: Optional[int] = None
     repetitions: int = 1
     collect_matching_history: bool = False
@@ -96,6 +111,13 @@ class SimulationConfig:
             raise ConfigurationError(f"checkpoints must be >= 1, got {self.checkpoints}")
         if self.repetitions < 1:
             raise ConfigurationError(f"repetitions must be >= 1, got {self.repetitions}")
+        from .matching import MATCHING_BACKENDS  # local import: config loads first
+
+        if self.matching_backend not in MATCHING_BACKENDS:
+            raise ConfigurationError(
+                f"unknown matching_backend {self.matching_backend!r} "
+                f"(available: {', '.join(sorted(MATCHING_BACKENDS))})"
+            )
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict form suitable for JSON serialisation."""
@@ -104,7 +126,13 @@ class SimulationConfig:
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SimulationConfig":
         """Inverse of :meth:`to_dict`; unknown keys are rejected."""
-        unknown = set(data) - {"checkpoints", "seed", "repetitions", "collect_matching_history"}
+        unknown = set(data) - {
+            "checkpoints",
+            "matching_backend",
+            "seed",
+            "repetitions",
+            "collect_matching_history",
+        }
         if unknown:
             raise ConfigurationError(
                 f"unknown SimulationConfig keys: {', '.join(sorted(unknown))}"

@@ -24,8 +24,9 @@ import numpy as np
 
 from ..config import MatchingConfig
 from ..errors import SimulationError
-from ..matching import BMatching
+from ..matching import DEFAULT_MATCHING_BACKEND, convert_matching, make_matching
 from ..topology import Topology
+from ..traffic.base import Trace
 from ..types import NodePair, Request
 
 __all__ = ["ServeOutcome", "OnlineBMatchingAlgorithm"]
@@ -85,6 +86,11 @@ class OnlineBMatchingAlgorithm(ABC):
     #: (true only for offline baselines such as SO-BMA).
     requires_full_trace: bool = False
 
+    #: Whether :meth:`serve_batch` is a hand-tuned fast path (rather than the
+    #: default per-request loop); the engine only routes contiguous trace
+    #: segments through ``serve_batch`` when this is true.
+    supports_batch: bool = False
+
     def __init__(
         self,
         topology: Topology,
@@ -94,7 +100,12 @@ class OnlineBMatchingAlgorithm(ABC):
         self.topology = topology
         self.config = config
         self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
-        self.matching = BMatching(topology.n_racks, config.b)
+        self._matching_backend = DEFAULT_MATCHING_BACKEND
+        self.matching = make_matching(topology.n_racks, config.b, self._matching_backend)
+        # The topology computes all-pairs distances once; every algorithm
+        # shares that dense matrix instead of issuing per-request pairwise
+        # lookups through the (validating) Topology.distance API.
+        self._distances = topology.distance_matrix
         self.total_routing_cost = 0.0
         self.total_reconfiguration_cost = 0.0
         self.requests_served = 0
@@ -127,7 +138,9 @@ class OnlineBMatchingAlgorithm(ABC):
 
     def reset(self) -> None:
         """Discard all state so the same instance can serve a fresh trace."""
-        self.matching = BMatching(self.topology.n_racks, self.config.b)
+        self.matching = make_matching(
+            self.topology.n_racks, self.config.b, self._matching_backend
+        )
         self.total_routing_cost = 0.0
         self.total_reconfiguration_cost = 0.0
         self.requests_served = 0
@@ -138,12 +151,43 @@ class OnlineBMatchingAlgorithm(ABC):
         """Hook for subclasses to clear their own bookkeeping on reset."""
 
     # ------------------------------------------------------------------ #
+    # Matching backend
+    # ------------------------------------------------------------------ #
+    @property
+    def matching_backend(self) -> str:
+        """Name of the kernel backend the matching currently runs on."""
+        return self._matching_backend
+
+    def rebind_matching_backend(self, backend: Optional[str]) -> None:
+        """Move the (not yet served) matching onto a different kernel backend.
+
+        The swap preserves edges, marks, and counters exactly and consumes no
+        randomness, so a rebound algorithm produces bit-identical results to
+        one that started on the requested backend.  Policies holding direct
+        references to the matching fix them up in
+        :meth:`_on_matching_rebound`.
+        """
+        if backend is None or backend == self._matching_backend:
+            return
+        if self.requests_served:
+            raise SimulationError(
+                "cannot switch the matching backend after requests were served; "
+                "call reset() or use a fresh instance"
+            )
+        self.matching = convert_matching(self.matching, backend)
+        self._matching_backend = backend
+        self._on_matching_rebound(backend)
+
+    def _on_matching_rebound(self, backend: str) -> None:
+        """Hook: re-point any policy-held references at :attr:`matching`."""
+
+    # ------------------------------------------------------------------ #
     # Serving
     # ------------------------------------------------------------------ #
     def serve(self, request: Request) -> ServeOutcome:
         """Serve one request: pay its routing cost, then (maybe) reconfigure."""
         pair = self.topology.validate_pair(request.src, request.dst)
-        length = self.topology.pair_length(pair)
+        length = float(self._distances[pair[0], pair[1]])
 
         served_by_matching = pair in self.matching
         routing_cost = (1.0 if served_by_matching else length) * request.size
@@ -175,6 +219,40 @@ class OnlineBMatchingAlgorithm(ABC):
             edges_added=added,
             edges_removed=removed,
         )
+
+    def _batch_arrays(self, requests):
+        """Decode a Trace batch into ``(lo, hi, keys, lengths)`` arrays.
+
+        ``lo``/``hi`` are the canonicalised endpoints, ``keys`` the
+        int-encoded pairs ``lo * n_racks + hi``, ``lengths`` the fixed-network
+        distances — the shared preamble of every hand-tuned ``serve_batch``.
+        Returns ``None`` when ``requests`` is not a :class:`Trace` or
+        addresses racks beyond this topology; callers then fall back to the
+        per-request loop, which reproduces the exact error semantics of
+        :meth:`serve`.
+        """
+        if not isinstance(requests, Trace) or requests.n_nodes > self.topology.n_racks:
+            return None
+        src = requests.sources.astype(np.int64, copy=False)
+        dst = requests.destinations.astype(np.int64, copy=False)
+        lo = np.minimum(src, dst)
+        hi = np.maximum(src, dst)
+        keys = lo * self.topology.n_racks + hi
+        return lo, hi, keys, self._distances[lo, hi]
+
+    def serve_batch(self, requests) -> None:
+        """Serve a contiguous batch of requests (no per-request outcomes).
+
+        ``requests`` is any iterable of :class:`~repro.types.Request`,
+        including a :class:`~repro.traffic.base.Trace` slice.  The default
+        implementation simply loops over :meth:`serve`; algorithms that set
+        :attr:`supports_batch` override this with a loop that reads the trace
+        arrays directly, skipping Request/ServeOutcome allocation while
+        keeping the per-request semantics (cost accounting order, randomness,
+        and raised errors) exactly identical.
+        """
+        for request in requests:
+            self.serve(request)
 
     def serve_all(self, requests: Sequence[Request]) -> float:
         """Serve a whole trace and return the total cost incurred for it."""

@@ -37,6 +37,7 @@ import networkx as nx
 import numpy as np
 
 from ..config import MatchingConfig
+from ..errors import SimulationError
 from ..topology import Topology
 from ..types import NodePair, Request
 from .base import OnlineBMatchingAlgorithm
@@ -48,6 +49,7 @@ class BMA(OnlineBMatchingAlgorithm):
     """Deterministic counter-based online b-matching (the paper's baseline)."""
 
     name = "bma"
+    supports_batch = True
 
     def __init__(
         self,
@@ -101,20 +103,23 @@ class BMA(OnlineBMatchingAlgorithm):
             data = demand[u][v]
         if data["counter"] < self.config.alpha:
             return (), ()
+        return self._saturate(pair, data)
 
-        # Saturation: bring the pair into the matching, evicting where needed.
+    def _saturate(self, pair: NodePair, data: dict) -> tuple[Tuple[NodePair, ...], Tuple[NodePair, ...]]:
+        """Bring a saturated pair into the matching, evicting where needed."""
         added: list[NodePair] = []
         removed: list[NodePair] = []
+        adj = self._demand._adj
         for endpoint in pair:
             if self.matching.degree(endpoint) >= self.config.b:
                 victim = self._select_victim(endpoint)
                 self.matching.remove(*victim)
-                vd = demand[victim[0]][victim[1]]
+                vd = adj[victim[0]][victim[1]]
                 vd["matched"] = False
                 vd["usefulness"] = 0
                 removed.append(victim)
                 self._reset_incident_counters(endpoint)
-        self.matching.add(u, v)
+        self.matching.add(*pair)
         self._insertion_clock += 1
         data["matched"] = True
         data["usefulness"] = 0
@@ -122,6 +127,71 @@ class BMA(OnlineBMatchingAlgorithm):
         data["inserted"] = self._insertion_clock
         added.append(pair)
         return tuple(added), tuple(removed)
+
+    def serve_batch(self, requests) -> None:
+        """Batched replay: demand-graph bookkeeping without NetworkX wrappers.
+
+        Operates on the *same* demand graph as :meth:`serve` — it reads and
+        writes ``Graph._adj`` (the dict-of-dicts NetworkX itself maintains),
+        so eviction scans and counter resets see identical state in identical
+        order; only the per-request wrapper objects (Request, ServeOutcome,
+        AtlasView) are skipped.
+        """
+        matching = self.matching
+        edge_keys = getattr(matching, "edge_keys", None)
+        decoded = self._batch_arrays(requests)
+        if edge_keys is None or decoded is None:
+            super().serve_batch(requests)
+            return
+        lo, hi, keys_arr, lengths_arr = decoded
+        keys = keys_arr.tolist()
+        lengths = lengths_arr.tolist()
+        los = lo.tolist()
+        his = hi.tolist()
+
+        adj = self._demand._adj
+        saturate = self._saturate
+        alpha = self.config.alpha
+        b = self.config.b
+        routing = self.total_routing_cost
+        reconf = self.total_reconfiguration_cost
+        served = self.requests_served
+        matched = self.matched_requests
+        try:
+            for key, u, v, length in zip(keys, los, his, lengths):
+                if key in edge_keys:
+                    adj[u][v]["usefulness"] += 1
+                    routing += 1.0
+                    served += 1
+                    matched += 1
+                    continue
+                row = adj[u]
+                data = row.get(v)
+                if data is None:
+                    data = {"counter": length, "usefulness": 0, "matched": False, "inserted": 0}
+                    row[v] = data
+                    adj[v][u] = data
+                else:
+                    data["counter"] += length
+                if data["counter"] < alpha:
+                    routing += length
+                    served += 1
+                    continue
+                before = matching.additions + matching.removals
+                saturate((u, v), data)
+                n_changes = matching.additions + matching.removals - before
+                if n_changes and matching.degree(u) > b:
+                    raise SimulationError(
+                        f"{self.name}: degree bound violated at node {u}"
+                    )
+                routing += length
+                reconf += n_changes * alpha
+                served += 1
+        finally:
+            self.total_routing_cost = routing
+            self.total_reconfiguration_cost = reconf
+            self.requests_served = served
+            self.matched_requests = matched
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -134,7 +204,7 @@ class BMA(OnlineBMatchingAlgorithm):
         """
         best: NodePair | None = None
         best_key: tuple[int, int] | None = None
-        for neighbor, data in self._demand.adj[endpoint].items():
+        for neighbor, data in self._demand._adj[endpoint].items():
             if not data.get("matched"):
                 continue
             key = (data["usefulness"], data["inserted"])
@@ -146,7 +216,7 @@ class BMA(OnlineBMatchingAlgorithm):
 
     def _reset_incident_counters(self, endpoint: int) -> None:
         """Zero the counters of every pending pair incident to ``endpoint``."""
-        for _neighbor, data in self._demand.adj[endpoint].items():
+        for _neighbor, data in self._demand._adj[endpoint].items():
             if not data.get("matched"):
                 data["counter"] = 0.0
 

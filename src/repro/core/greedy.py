@@ -15,6 +15,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from ..config import MatchingConfig
+from ..errors import SimulationError
 from ..topology import Topology
 from ..types import NodePair, Request
 from .base import OnlineBMatchingAlgorithm
@@ -34,6 +35,7 @@ class GreedyBMA(OnlineBMatchingAlgorithm):
     """
 
     name = "greedy"
+    supports_batch = True
 
     def __init__(
         self,
@@ -64,6 +66,56 @@ class GreedyBMA(OnlineBMatchingAlgorithm):
         self.matching.add(*pair)
         self._counters.pop(pair, None)
         return (pair,), ()
+
+    def serve_batch(self, requests) -> None:
+        """Batched replay: counter bookkeeping on int-encoded pairs."""
+        matching = self.matching
+        edge_keys = getattr(matching, "edge_keys", None)
+        decoded = self._batch_arrays(requests)
+        if edge_keys is None or decoded is None:
+            super().serve_batch(requests)
+            return
+        lo, hi, keys_arr, lengths_arr = decoded
+        keys = keys_arr.tolist()
+        lengths = lengths_arr.tolist()
+        los = lo.tolist()
+        his = hi.tolist()
+
+        counters = self._counters
+        threshold = self.threshold
+        alpha = self.config.alpha
+        b = self.config.b
+        routing = self.total_routing_cost
+        reconf = self.total_reconfiguration_cost
+        served = self.requests_served
+        matched = self.matched_requests
+        try:
+            for key, u, v, length in zip(keys, los, his, lengths):
+                if key in edge_keys:
+                    routing += 1.0
+                    served += 1
+                    matched += 1
+                    continue
+                pair = (u, v)
+                total = counters.get(pair, 0.0) + length
+                counters[pair] = total
+                if total >= threshold and matching.has_capacity(u, v):
+                    matching.add(u, v)
+                    counters.pop(pair, None)
+                    if matching.degree(u) > b:
+                        raise SimulationError(
+                            f"{self.name}: degree bound violated at node {u}"
+                        )
+                    routing += length
+                    reconf += alpha
+                else:
+                    routing += length
+                served += 1
+        finally:
+            self.total_routing_cost = routing
+            self.total_reconfiguration_cost = reconf
+            self.requests_served = served
+            self.matched_requests = matched
 
     def _reset_policy_state(self) -> None:
         self._counters.clear()

@@ -113,10 +113,21 @@ class HybridBMA(OnlineBMatchingAlgorithm):
             self._switches += 1
 
         # Synchronise the real matching with the followed expert's matching.
-        target = set(self._following.matching.edges)
-        current = set(self.matching.edges)
-        removed = tuple(sorted(current - target))
-        added = tuple(sorted(target - current))
+        # On the fast kernel, diff the int-encoded edge sets directly (sorted
+        # int keys order exactly like sorted canonical pairs); otherwise fall
+        # back to tuple snapshots.
+        target_matching = self._following.matching
+        target_keys = getattr(target_matching, "edge_keys", None)
+        current_keys = getattr(self.matching, "edge_keys", None)
+        if target_keys is not None and current_keys is not None:
+            n = self.matching.n_nodes
+            removed = tuple((k // n, k % n) for k in sorted(current_keys - target_keys))
+            added = tuple((k // n, k % n) for k in sorted(target_keys - current_keys))
+        else:
+            target = set(target_matching.edges)
+            current = set(self.matching.edges)
+            removed = tuple(sorted(current - target))
+            added = tuple(sorted(target - current))
         for edge in removed:
             self.matching.remove(*edge)
         for edge in added:
@@ -125,3 +136,10 @@ class HybridBMA(OnlineBMatchingAlgorithm):
 
     def _reset_policy_state(self) -> None:
         self._make_experts()
+
+    def _on_matching_rebound(self, backend: str) -> None:
+        # The experts' virtual matchings drive the real one's contents; keep
+        # all three on the same kernel so a backend comparison exercises the
+        # whole combiner.  Rebinding consumes no randomness.
+        self._robust.rebind_matching_backend(backend)
+        self._predictive.rebind_matching_backend(backend)

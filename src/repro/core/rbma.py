@@ -26,6 +26,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from ..config import MatchingConfig
+from ..errors import SimulationError
 from ..paging.registry import PagingFactory, make_paging_factory
 from ..topology import Topology
 from ..types import NodePair, Request
@@ -52,6 +53,7 @@ class RBMA(OnlineBMatchingAlgorithm):
     """
 
     name = "rbma"
+    supports_batch = True
 
     def __init__(
         self,
@@ -65,10 +67,12 @@ class RBMA(OnlineBMatchingAlgorithm):
         self._paging_policy = paging_policy
         self._factory = paging_factory or make_paging_factory(paging_policy)
         self._matcher = PerNodePagingMatcher(self.matching, self._factory, self.rng)
-        # Per-pair request counters driving the Theorem 1 filter.  Thresholds
-        # k_e depend only on the pair's fixed-network length and alpha, so
-        # they are computed lazily and memoised per distinct length.
-        self._counters: Dict[NodePair, int] = {}
+        # Per-pair request counters driving the Theorem 1 filter, keyed by the
+        # int-encoded canonical pair (u * n + v) so the batched replay loop
+        # never builds tuples for filtered requests.  Thresholds k_e depend
+        # only on the pair's fixed-network length and alpha, so they are
+        # computed lazily and memoised per distinct length.
+        self._counters: Dict[int, int] = {}
         self._threshold_by_length: Dict[float, int] = {}
 
     # ------------------------------------------------------------------ #
@@ -84,7 +88,7 @@ class RBMA(OnlineBMatchingAlgorithm):
 
     def pending_count(self, pair: NodePair) -> int:
         """Requests to ``pair`` seen since its last special request."""
-        return self._counters.get(pair, 0)
+        return self._counters.get(pair[0] * self.topology.n_racks + pair[1], 0)
 
     # ------------------------------------------------------------------ #
     # Policy
@@ -96,18 +100,85 @@ class RBMA(OnlineBMatchingAlgorithm):
         served_by_matching: bool,
         request: Request,
     ) -> tuple[Tuple[NodePair, ...], Tuple[NodePair, ...]]:
-        count = self._counters.get(pair, 0) + 1
+        key = pair[0] * self.topology.n_racks + pair[1]
+        count = self._counters.get(key, 0) + 1
         if count < self.threshold(length):
-            self._counters[pair] = count
+            self._counters[key] = count
             return (), ()
         # Special request: forward to the uniform-case machinery and restart
         # the pair's counter.
-        self._counters[pair] = 0
+        self._counters[key] = 0
         return self._matcher.process(pair)
+
+    def serve_batch(self, requests) -> None:
+        """Batched replay: filtered requests stay inside one tight loop.
+
+        Reads the trace arrays directly and tests matching membership on
+        int-encoded pairs; only *special* requests (those passing the
+        Theorem 1 filter) touch the paging machinery.  Cost accounting,
+        randomness consumption, and raised errors are exactly those of
+        request-by-request :meth:`serve` calls.
+        """
+        matching = self.matching
+        edge_keys = getattr(matching, "edge_keys", None)
+        decoded = self._batch_arrays(requests)
+        if edge_keys is None or decoded is None:
+            super().serve_batch(requests)
+            return
+        n = self.topology.n_racks
+        _lo, _hi, keys_arr, lengths_arr = decoded
+        keys = keys_arr.tolist()
+        lengths = lengths_arr.tolist()
+        # Theorem 1 thresholds k_e = max(1, ceil(alpha / max(l, 1))) for the
+        # whole segment in one vectorised pass (np.ceil of the identical
+        # float division matches math.ceil exactly).
+        thresholds = np.maximum(
+            1, np.ceil(self.config.alpha / np.maximum(lengths_arr, 1.0)).astype(np.int64)
+        ).tolist()
+
+        counters = self._counters
+        process = self._matcher.process
+        alpha = self.config.alpha
+        b = self.config.b
+        routing = self.total_routing_cost
+        reconf = self.total_reconfiguration_cost
+        served = self.requests_served
+        matched = self.matched_requests
+        try:
+            for key, length, k in zip(keys, lengths, thresholds):
+                hit = key in edge_keys
+                count = counters.get(key, 0) + 1
+                if count < k:
+                    counters[key] = count
+                    n_changes = 0
+                else:
+                    counters[key] = 0
+                    before = matching.additions + matching.removals
+                    pair = (key // n, key % n)
+                    process(pair)
+                    n_changes = matching.additions + matching.removals - before
+                    if n_changes and matching.degree(pair[0]) > b:
+                        raise SimulationError(
+                            f"{self.name}: degree bound violated at node {pair[0]}"
+                        )
+                routing += 1.0 if hit else length
+                if n_changes:
+                    reconf += n_changes * alpha
+                served += 1
+                if hit:
+                    matched += 1
+        finally:
+            self.total_routing_cost = routing
+            self.total_reconfiguration_cost = reconf
+            self.requests_served = served
+            self.matched_requests = matched
 
     def _reset_policy_state(self) -> None:
         self._matcher = PerNodePagingMatcher(self.matching, self._factory, self.rng)
         self._counters.clear()
+
+    def _on_matching_rebound(self, backend: str) -> None:
+        self._matcher.matching = self.matching
 
     # ------------------------------------------------------------------ #
     # Introspection helpers (used by analysis / tests)

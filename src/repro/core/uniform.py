@@ -149,3 +149,6 @@ class UniformBMatching(OnlineBMatchingAlgorithm):
         self._matcher = PerNodePagingMatcher(
             self.matching, make_paging_factory(self._paging_policy), self.rng
         )
+
+    def _on_matching_rebound(self, backend: str) -> None:
+        self._matcher.matching = self.matching

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import itertools
 import json
+from collections import OrderedDict
 from dataclasses import dataclass, field, fields, is_dataclass, replace
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
@@ -99,6 +100,17 @@ def _check_keys(data: Mapping[str, Any], allowed: frozenset, what: str) -> None:
         )
 
 
+#: LRU cache of built topologies keyed by (name, sorted constructor kwargs).
+#: Topologies are immutable by convention and their distance matrices are the
+#: expensive part (a vectorised BFS per construction); sweeps and figure
+#: panels re-request the same topology for every algorithm/backend
+#: combination, so the matrix is computed once and shared.  Bounded so that
+#: long-lived processes sweeping many distinct sizes cannot accumulate dense
+#: O(n^2) matrices forever.
+_TOPOLOGY_CACHE: "OrderedDict[tuple, Any]" = OrderedDict()
+_TOPOLOGY_CACHE_MAX = 32
+
+
 @dataclass(frozen=True)
 class TopologySpec:
     """The fixed network, by registered name plus constructor parameters."""
@@ -115,7 +127,12 @@ class TopologySpec:
         return self
 
     def build(self, default_n_racks: Optional[int] = None):
-        """Construct the topology; rack-sized families default to the trace size."""
+        """Construct the topology; rack-sized families default to the trace size.
+
+        Built topologies (and thus their cached distance matrices) are shared
+        across calls with identical name and parameters; callers must treat
+        them as read-only, which every algorithm in :mod:`repro.core` does.
+        """
         kwargs = dict(self.params)
         if (
             default_n_racks is not None
@@ -123,7 +140,19 @@ class TopologySpec:
             and self.name.lower() not in _SELF_SIZED_TOPOLOGIES
         ):
             kwargs["n_racks"] = default_n_racks
-        return _topology_registry().build(self.name, **kwargs)
+        cache_key = (self.name.lower(), tuple(sorted(kwargs.items())))
+        try:
+            topology = _TOPOLOGY_CACHE.get(cache_key)
+        except TypeError:  # unhashable constructor params: build uncached
+            return _topology_registry().build(self.name, **kwargs)
+        if topology is None:
+            topology = _topology_registry().build(self.name, **kwargs)
+            _TOPOLOGY_CACHE[cache_key] = topology
+        else:
+            _TOPOLOGY_CACHE.move_to_end(cache_key)
+        while len(_TOPOLOGY_CACHE) > _TOPOLOGY_CACHE_MAX:
+            _TOPOLOGY_CACHE.popitem(last=False)
+        return topology
 
     def to_dict(self) -> Dict[str, Any]:
         return {"name": self.name, "params": dict(self.params)}
@@ -364,6 +393,7 @@ class ExperimentSpec:
             # repetitions/seed are spec-level policy, not engine parameters.
             "simulation": {
                 "checkpoints": self.simulation.checkpoints,
+                "matching_backend": self.simulation.matching_backend,
                 "collect_matching_history": self.simulation.collect_matching_history,
             },
             "repeats": self.repeats,

@@ -2,12 +2,41 @@
 
 A *b-matching* over racks ``0..n-1`` is a set of node pairs (the reconfigurable
 optical links) in which every rack is incident to at most ``b`` pairs.  The
-online algorithms in :mod:`repro.core` maintain a dynamic
-:class:`~repro.matching.bmatching.BMatching`; the offline baseline SO-BMA uses
-the static maximum-weight solvers in :mod:`repro.matching.static_solver`.
+online algorithms in :mod:`repro.core` maintain a dynamic b-matching; the
+offline baseline SO-BMA uses the static maximum-weight solvers in
+:mod:`repro.matching.static_solver`.
+
+Two kernel backends
+-------------------
+The dynamic structure exists in two observationally identical implementations,
+selected by name through :data:`MATCHING_BACKENDS` / :func:`make_matching` and
+wired into experiments via ``SimulationConfig.matching_backend``:
+
+``"reference"`` — :class:`~repro.matching.bmatching.BMatching`
+    The original, readable kernel: plain sets of canonical pair tuples.  It is
+    the semantic ground truth; when run through the simulation engine it also
+    forces the engine's per-request replay loop, so a reference run exercises
+    the exact pre-optimization code path.
+
+``"fast"`` (default) — :class:`~repro.matching.fast_bmatching.FastBMatching`
+    The array-backed kernel: int-encoded edges (``u * n + v``), numpy degree
+    arrays, and a per-node marked-edge index so lazy-removal pruning never
+    re-sorts.  It additionally exposes ``edge_keys``/``encode`` so the batched
+    ``serve_batch`` loops in :mod:`repro.core` can test membership on machine
+    ints.
+
+The two backends are guarded by a differential harness
+(``tests/test_differential_matching.py``) that replays randomized operation
+sequences and whole traces through both and requires identical edges, marks,
+counters, exceptions, and bit-identical run costs, plus golden-trace pins
+(``tests/test_regression_pins.py``) that fail loudly if either kernel's
+observable behaviour drifts.
 """
 
+from typing import Optional
+
 from .bmatching import BMatching
+from .fast_bmatching import FastBMatching
 from .static_solver import (
     exact_max_weight_b_matching,
     greedy_b_matching,
@@ -15,9 +44,15 @@ from .static_solver import (
     matching_weight,
 )
 from .validation import check_b_matching, is_valid_b_matching
+from ..errors import MatchingError
 
 __all__ = [
     "BMatching",
+    "FastBMatching",
+    "MATCHING_BACKENDS",
+    "DEFAULT_MATCHING_BACKEND",
+    "make_matching",
+    "convert_matching",
     "greedy_b_matching",
     "iterated_max_weight_b_matching",
     "exact_max_weight_b_matching",
@@ -25,3 +60,48 @@ __all__ = [
     "is_valid_b_matching",
     "check_b_matching",
 ]
+
+#: Name -> class map of the dynamic b-matching kernels.
+MATCHING_BACKENDS = {
+    BMatching.backend_name: BMatching,
+    FastBMatching.backend_name: FastBMatching,
+}
+
+#: Backend used when nothing is specified.
+DEFAULT_MATCHING_BACKEND = FastBMatching.backend_name
+
+
+def make_matching(n_nodes: int, b: int, backend: Optional[str] = None):
+    """Construct a dynamic b-matching using the named kernel backend.
+
+    ``backend`` is one of :data:`MATCHING_BACKENDS` (``None`` means
+    :data:`DEFAULT_MATCHING_BACKEND`).
+    """
+    name = DEFAULT_MATCHING_BACKEND if backend is None else backend
+    try:
+        cls = MATCHING_BACKENDS[name]
+    except KeyError:
+        raise MatchingError(
+            f"unknown matching backend {name!r} "
+            f"(available: {', '.join(sorted(MATCHING_BACKENDS))})"
+        ) from None
+    return cls(n_nodes, b)
+
+
+def convert_matching(matching, backend: str):
+    """The same matching state rebuilt on the named backend.
+
+    Edges, marks, and the addition/removal counters carry over exactly; the
+    input structure is left untouched.  Returns the input unchanged when it
+    is already on the requested backend.
+    """
+    if matching.backend_name == backend:
+        return matching
+    clone = make_matching(matching.n_nodes, matching.b, backend)
+    for pair in sorted(matching.edges):
+        clone.add(*pair)
+    for pair in sorted(matching.marked_edges):
+        clone.mark_for_removal(*pair)
+    clone._additions = matching.additions
+    clone._removals = matching.removals
+    return clone

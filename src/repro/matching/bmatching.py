@@ -33,6 +33,9 @@ class BMatching:
         Maximum number of matching edges incident to any rack.
     """
 
+    #: Name under which this kernel is registered in ``MATCHING_BACKENDS``.
+    backend_name = "reference"
+
     def __init__(self, n_nodes: int, b: int):
         if n_nodes < 2:
             raise MatchingError(f"need at least 2 nodes, got {n_nodes}")
@@ -101,14 +104,20 @@ class BMatching:
 
     def is_full(self, node: int) -> bool:
         """Whether ``node`` has reached its degree bound."""
-        return self.degree(node) >= self._b
+        self._check_node(node)
+        return len(self._incident[node]) >= self._b
 
     def has_capacity(self, u: int, v: int) -> bool:
         """Whether the pair ``{u, v}`` could be added without pruning."""
         pair = canonical_pair(u, v)
+        self._check_node(pair[0])
+        self._check_node(pair[1])
         if pair in self._edges:
             return False
-        return self.degree(pair[0]) < self._b and self.degree(pair[1]) < self._b
+        # Read the incident sets directly: going through degree() would
+        # re-validate both nodes on what is a per-request hot path.
+        incident = self._incident
+        return len(incident[pair[0]]) < self._b and len(incident[pair[1]]) < self._b
 
     def is_marked(self, u: int, v: int) -> bool:
         """Whether the edge ``{u, v}`` is marked for lazy removal."""
@@ -189,13 +198,20 @@ class BMatching:
         """
         self._check_node(node)
         removed: list[NodePair] = []
+        if len(self._incident[node]) < self._b:
+            return removed
+        # Marks cannot appear during pruning (remove() only clears them), so
+        # the marked incident edges are sorted once instead of on every loop
+        # iteration (previously O(d^2 log d) worst case per prune call).
+        marked_here = sorted(p for p in self._incident[node] if p in self._marked)
+        next_victim = 0
         while len(self._incident[node]) >= self._b:
-            marked_here = sorted(p for p in self._incident[node] if p in self._marked)
-            if not marked_here:
+            if next_victim >= len(marked_here):
                 raise DegreeConstraintError(
                     f"node {node} is at degree bound b={self._b} with no marked edges to prune"
                 )
-            victim = marked_here[0]
+            victim = marked_here[next_victim]
+            next_victim += 1
             self.remove(*victim)
             removed.append(victim)
         return removed

@@ -77,6 +77,20 @@ def greedy_b_matching(
     return chosen
 
 
+class _DirectAccessGraph(nx.Graph):
+    """``nx.Graph`` whose ``G[v]`` skips the AtlasView wrapper.
+
+    The blossom algorithm's inner ``slack()`` reads ``G[v][w]["weight"]``
+    millions of times; the stock ``__getitem__`` allocates a read-only
+    AtlasView per call.  Returning the underlying adjacency dict yields the
+    very same edge-data mappings (so results are identical) without the
+    wrapper allocation, roughly halving solver time on dense demand graphs.
+    """
+
+    def __getitem__(self, n):
+        return self._adj[n]
+
+
 def iterated_max_weight_b_matching(
     weights: Mapping[NodePair, float], n_nodes: int, b: int
 ) -> Set[NodePair]:
@@ -93,7 +107,7 @@ def iterated_max_weight_b_matching(
     for _round in range(b):
         if not remaining:
             break
-        g = nx.Graph()
+        g = _DirectAccessGraph()
         g.add_nodes_from(range(n_nodes))
         for (u, v), w in remaining.items():
             if u >= n_nodes or v >= n_nodes:

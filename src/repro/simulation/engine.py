@@ -1,9 +1,22 @@
 """Request-replay simulation engine.
 
-:func:`run_simulation` feeds a trace to an online b-matching algorithm one
-request at a time, measuring the algorithm's wall-clock time (excluding the
-engine's own checkpoint bookkeeping) and recording the cumulative cost series
-at evenly spaced checkpoints.
+:func:`run_simulation` replays a trace through an online b-matching
+algorithm, measuring the algorithm's wall-clock time (excluding the engine's
+own checkpoint bookkeeping) and recording the cumulative cost series at
+evenly spaced checkpoints.
+
+Two replay paths share identical semantics:
+
+* the **reference path** serves one request per loop iteration, exactly as
+  the original implementation did.  It is used when
+  ``SimulationConfig.matching_backend == "reference"``, when the algorithm
+  does not opt into batching, and when per-request matching history is
+  collected;
+* the **batched path** pre-materialises the trace once, splits it into
+  contiguous segments bounded by checkpoints (and observer batch intervals),
+  and hands each segment to the algorithm's ``serve_batch`` in a single call,
+  so checkpoint checks, observer dispatch, and Request/ServeOutcome
+  allocation are paid per segment instead of per request.
 
 Cross-cutting concerns — progress reporting, live invariant validation, cost
 tracing — are not engine flags but *observers*
@@ -39,12 +52,28 @@ __all__ = ["run_simulation"]
 
 
 def _checkpoint_positions(n_requests: int, n_checkpoints: int) -> np.ndarray:
-    """Request counts (1-based) at which to record the series."""
+    """Request counts (1-based) at which to record the series.
+
+    Contract (documented on :class:`~repro.config.SimulationConfig`): exactly
+    ``min(n_checkpoints, n_requests)`` strictly increasing positions in
+    ``[1, n_requests]``, the last being ``n_requests``.  Rounding the ideal
+    evenly spaced positions can collapse neighbours on short traces; instead
+    of dropping the duplicates (the old ``np.unique`` behaviour, which
+    silently returned fewer checkpoints than requested), collisions are
+    resolved by shifting positions forward while clamping to the valid range.
+    """
     if n_requests <= 0:
         raise SimulationError("cannot simulate an empty trace")
     n_checkpoints = min(n_checkpoints, n_requests)
-    positions = np.linspace(n_requests / n_checkpoints, n_requests, n_checkpoints)
-    return np.unique(np.round(positions).astype(np.int64))
+    ideal = np.linspace(n_requests / n_checkpoints, n_requests, n_checkpoints)
+    positions = np.round(ideal).astype(np.int64)
+    offsets = np.arange(n_checkpoints, dtype=np.int64)
+    # Strictly increasing: each position at least one past its predecessor.
+    positions = np.maximum(positions, offsets + 1)
+    positions = np.maximum.accumulate(positions - offsets) + offsets
+    # Leave room for the positions still to come, ending exactly at n.
+    positions = np.minimum(positions, n_requests - (n_checkpoints - 1 - offsets))
+    return positions
 
 
 def run_simulation(
@@ -60,13 +89,18 @@ def run_simulation(
     ----------
     algorithm:
         A fresh (or reset) algorithm instance; offline algorithms
-        (``requires_full_trace``) are fitted on the trace first.
+        (``requires_full_trace``) are fitted on the trace first.  The engine
+        rebinds the algorithm's matching onto
+        ``config.matching_backend`` before the first request (a no-op when it
+        already matches); the rebind preserves state exactly and consumes no
+        randomness, so results are bit-identical across backends.
     trace:
         The workload to replay.
     config:
-        Simulation parameters (checkpoints, seed recording).  The seed in the
-        config is *not* applied to the algorithm — pass it to the algorithm's
-        constructor — it is only recorded in the result for provenance.
+        Simulation parameters (checkpoints, matching backend, seed
+        recording).  The seed in the config is *not* applied to the
+        algorithm — pass it to the algorithm's constructor — it is only
+        recorded in the result for provenance.
     validate:
         If true, validate the b-matching invariants after every request
         (slow; meant for tests).  Equivalent to passing a
@@ -86,6 +120,7 @@ def run_simulation(
         raise SimulationError(
             "algorithm has already served requests; call reset() or use a fresh instance"
         )
+    algorithm.rebind_matching_backend(config.matching_backend)
 
     watchers = ObserverList(observers)
     if validate:
@@ -109,49 +144,86 @@ def run_simulation(
     cp_matched: list[float] = []
     matching_history: list[frozenset] = []
 
+    use_batched_path = (
+        config.matching_backend != "reference"
+        and algorithm.supports_batch
+        and not config.collect_matching_history
+        # Per-request batches (e.g. ValidationObserver) degenerate to
+        # single-element segments; the plain loop is faster and identical.
+        and (batch_interval is None or batch_interval > 1)
+    )
+
     if algorithm.requires_full_trace:
         with timer:
-            algorithm.fit(list(trace.requests()))
+            algorithm.fit(trace if use_batched_path else list(trace.requests()))
 
-    next_checkpoint_idx = 0
-    served = 0
-    batch_start = 0
-    for i in range(n_requests):
-        request = trace[i]
-        with timer:
-            algorithm.serve(request)
-        served += 1
-        if config.collect_matching_history:
-            matching_history.append(algorithm.matching.edges)
-        at_checkpoint = (
-            next_checkpoint_idx < len(checkpoints)
-            and served >= checkpoints[next_checkpoint_idx]
-        )
-        if notify and batch_interval is not None and served - batch_start >= batch_interval:
-            watchers.on_request_batch(context, batch_start, served)
-            batch_start = served
-        if at_checkpoint:
+    def record_checkpoint(index: int, served: int) -> None:
+        cp_requests.append(served)
+        cp_routing.append(algorithm.total_routing_cost)
+        cp_reconf.append(algorithm.total_reconfiguration_cost)
+        cp_elapsed.append(timer.elapsed)
+        cp_matched.append(algorithm.matched_fraction)
+        if notify:
+            watchers.on_checkpoint(
+                context,
+                CheckpointEvent(
+                    index=index,
+                    requests_served=served,
+                    routing_cost=algorithm.total_routing_cost,
+                    reconfiguration_cost=algorithm.total_reconfiguration_cost,
+                    elapsed_seconds=timer.elapsed,
+                    matched_fraction=algorithm.matched_fraction,
+                ),
+            )
+
+    if use_batched_path:
+        checkpoint_list = checkpoints.tolist()
+        next_checkpoint_idx = 0
+        served = 0
+        batch_start = 0
+        while served < n_requests:
+            stop = checkpoint_list[next_checkpoint_idx]
+            if batch_interval is not None:
+                stop = min(stop, batch_start + batch_interval)
+            segment = trace[served:stop]
+            with timer:
+                algorithm.serve_batch(segment)
+            served = stop
+            at_checkpoint = served >= checkpoint_list[next_checkpoint_idx]
             if notify and served > batch_start:
+                interval_reached = (
+                    batch_interval is not None and served - batch_start >= batch_interval
+                )
+                if interval_reached or at_checkpoint:
+                    watchers.on_request_batch(context, batch_start, served)
+                    batch_start = served
+            if at_checkpoint:
+                record_checkpoint(next_checkpoint_idx, served)
+                next_checkpoint_idx += 1
+    else:
+        next_checkpoint_idx = 0
+        served = 0
+        batch_start = 0
+        for i in range(n_requests):
+            request = trace[i]
+            with timer:
+                algorithm.serve(request)
+            served += 1
+            if config.collect_matching_history:
+                matching_history.append(algorithm.matching.edges)
+            at_checkpoint = (
+                next_checkpoint_idx < len(checkpoints)
+                and served >= checkpoints[next_checkpoint_idx]
+            )
+            if notify and batch_interval is not None and served - batch_start >= batch_interval:
                 watchers.on_request_batch(context, batch_start, served)
                 batch_start = served
-            cp_requests.append(served)
-            cp_routing.append(algorithm.total_routing_cost)
-            cp_reconf.append(algorithm.total_reconfiguration_cost)
-            cp_elapsed.append(timer.elapsed)
-            cp_matched.append(algorithm.matched_fraction)
-            if notify:
-                watchers.on_checkpoint(
-                    context,
-                    CheckpointEvent(
-                        index=next_checkpoint_idx,
-                        requests_served=served,
-                        routing_cost=algorithm.total_routing_cost,
-                        reconfiguration_cost=algorithm.total_reconfiguration_cost,
-                        elapsed_seconds=timer.elapsed,
-                        matched_fraction=algorithm.matched_fraction,
-                    ),
-                )
-            next_checkpoint_idx += 1
+            if at_checkpoint:
+                if notify and served > batch_start:
+                    watchers.on_request_batch(context, batch_start, served)
+                    batch_start = served
+                record_checkpoint(next_checkpoint_idx, served)
+                next_checkpoint_idx += 1
 
     series = CheckpointSeries(
         requests=np.asarray(cp_requests, dtype=np.int64),

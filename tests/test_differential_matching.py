@@ -1,0 +1,258 @@
+"""Differential harness: FastBMatching must be indistinguishable from BMatching.
+
+Two layers of evidence certify the fast kernel:
+
+* **Operation-level** — randomized operation sequences (hypothesis-driven and
+  seeded-exhaustive) are applied to both kernels in lockstep; every return
+  value, every raised exception (type *and* message), and the full observable
+  state (edges, marks, degrees, counters) must agree after every step.
+* **Replay-level** — full simulations are executed twice, once per
+  ``matching_backend``, for every registered algorithm across all registered
+  topologies and workloads; the resulting :class:`RunResult` cost totals and
+  checkpoint series must be *bit-identical* (exact float equality, not
+  approximate), as must the final matching state.
+
+Because the engine routes ``"reference"`` runs through the original
+per-request loop and ``"fast"`` runs through the batched ``serve_batch``
+path, the replay layer simultaneously guards the kernel swap, the batched
+engine path, and every algorithm's hand-tuned batch loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import MatchingConfig, SimulationConfig
+from repro.core.registry import ALGORITHMS
+from repro.errors import ReproError
+from repro.experiments import ExperimentSpec
+from repro.matching import BMatching, FastBMatching, convert_matching, make_matching
+from repro.simulation import run_simulation
+from repro.topology.registry import TOPOLOGIES
+from repro.traffic.registry import WORKLOADS
+
+# --------------------------------------------------------------------------- #
+# Operation-level differential testing
+# --------------------------------------------------------------------------- #
+
+N_NODES = 7
+B = 2
+
+#: (op name, number of node arguments) — ops taking node pairs may receive
+#: arbitrary (also invalid) combinations so exception behaviour is compared.
+_OPS = [
+    ("add", 2),
+    ("remove", 2),
+    ("mark_for_removal", 2),
+    ("unmark", 2),
+    ("prune_to_capacity", 1),
+    ("has_capacity", 2),
+    ("is_marked", 2),
+    ("degree", 1),
+    ("is_full", 1),
+    ("edges_at", 1),
+    ("contains", 2),
+    ("clear", 0),
+    ("reset_counters", 0),
+]
+
+
+def _apply(matching, op: str, args: tuple):
+    """Run one operation, returning ('ok', value) or ('raise', type, message)."""
+    try:
+        if op == "contains":
+            return ("ok", tuple(args) in matching)
+        value = getattr(matching, op)(*args)
+        if isinstance(value, frozenset):
+            value = sorted(value)
+        return ("ok", value)
+    except (ReproError, ValueError) as exc:
+        return ("raise", type(exc).__name__, str(exc))
+
+
+def _snapshot(matching):
+    return {
+        "edges": sorted(matching.edges),
+        "marked": sorted(matching.marked_edges),
+        "degrees": [matching.degree(node) for node in range(matching.n_nodes)],
+        "additions": matching.additions,
+        "removals": matching.removals,
+        "len": len(matching),
+        "iter": sorted(matching),
+    }
+
+
+def _run_lockstep(ops):
+    reference = BMatching(N_NODES, B)
+    fast = FastBMatching(N_NODES, B)
+    for step, (op_idx, nodes) in enumerate(ops):
+        op, arity = _OPS[op_idx % len(_OPS)]
+        args = tuple(nodes[:arity])
+        ref_out = _apply(reference, op, args)
+        fast_out = _apply(fast, op, args)
+        assert ref_out == fast_out, (
+            f"step {step}: {op}{args} diverged: reference={ref_out} fast={fast_out}"
+        )
+        assert _snapshot(reference) == _snapshot(fast), (
+            f"step {step}: state diverged after {op}{args}"
+        )
+
+
+# Node values deliberately include out-of-range ids and duplicate endpoints so
+# the harness compares error paths, not just the happy path.
+_node = st.integers(min_value=-1, max_value=N_NODES)
+_op = st.tuples(st.integers(min_value=0, max_value=len(_OPS) - 1),
+                st.tuples(_node, _node))
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(_op, min_size=1, max_size=60))
+def test_random_op_sequences_agree(ops):
+    """Hypothesis: both kernels agree on arbitrary operation sequences."""
+    _run_lockstep(ops)
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_seeded_long_op_sequences_agree(seed):
+    """Long seeded sequences biased towards valid, mark-heavy workloads."""
+    rng = np.random.default_rng(seed)
+    ops = []
+    for _ in range(400):
+        op_idx = int(rng.integers(len(_OPS)))
+        u = int(rng.integers(N_NODES))
+        v = int(rng.integers(N_NODES))
+        ops.append((op_idx, (u, v)))
+    _run_lockstep(ops)
+
+
+def test_copy_and_convert_roundtrip():
+    """copy() stays within a backend; convert_matching hops between them."""
+    rng = np.random.default_rng(3)
+    fast = FastBMatching(N_NODES, B)
+    for _ in range(40):
+        u, v = int(rng.integers(N_NODES)), int(rng.integers(N_NODES))
+        if u == v:
+            continue
+        if fast.has_capacity(u, v):
+            fast.add(u, v)
+        elif (u, v) in fast:
+            fast.mark_for_removal(u, v)
+    assert isinstance(fast.copy(), FastBMatching)
+    assert _snapshot(fast.copy()) == _snapshot(fast)
+    reference = convert_matching(fast, "reference")
+    assert isinstance(reference, BMatching)
+    assert _snapshot(reference) == _snapshot(fast)
+    back = convert_matching(reference, "fast")
+    assert isinstance(back, FastBMatching)
+    assert _snapshot(back) == _snapshot(fast)
+    # Same-backend conversion is the identity, not a copy.
+    assert convert_matching(fast, "fast") is fast
+
+
+def test_make_matching_backends():
+    assert isinstance(make_matching(4, 2, "reference"), BMatching)
+    assert isinstance(make_matching(4, 2, "fast"), FastBMatching)
+    assert isinstance(make_matching(4, 2), FastBMatching)  # default
+    with pytest.raises(ReproError):
+        make_matching(4, 2, "no-such-kernel")
+
+
+# --------------------------------------------------------------------------- #
+# Replay-level differential testing
+# --------------------------------------------------------------------------- #
+
+#: Registry names deduplicated to their canonical spelling.
+ALGORITHM_NAMES = sorted({ALGORITHMS.canonical(name) for name in ALGORITHMS.names()})
+TOPOLOGY_NAMES = sorted({TOPOLOGIES.canonical(name) for name in TOPOLOGIES.names()})
+WORKLOAD_NAMES = sorted({WORKLOADS.canonical(name) for name in WORKLOADS.names()})
+
+_CANONICAL_TOPOLOGY = "leaf-spine"
+_CANONICAL_WORKLOAD = "zipf"
+
+#: Constructor parameters for topologies not sized by ``n_racks`` (torus,
+#: hypercube; both sized to the 8 racks the traces address) or needing a
+#: pinned seed to be reproducible (expander builds a random regular graph).
+_TOPOLOGY_PARAMS = {
+    "torus": {"rows": 2, "cols": 4},
+    "hypercube": {"dimension": 3},
+    "expander": {"seed": 7},
+}
+
+_WORKLOAD_PARAMS = {
+    "hotspot": {"n_hot_pairs": 3},
+}
+
+
+def _spec(algorithm: str, topology: str, workload: str, backend: str) -> ExperimentSpec:
+    params = {"solver": "greedy"} if algorithm == "so-bma" else {}
+    workload_params = {"n_nodes": 8, "n_requests": 250,
+                       **_WORKLOAD_PARAMS.get(workload, {})}
+    return ExperimentSpec(
+        algorithm={"name": algorithm, "b": 3, "alpha": 4.0, "params": params},
+        traffic={"name": workload, "params": workload_params},
+        topology={"name": topology, "params": _TOPOLOGY_PARAMS.get(topology, {})},
+        simulation={"checkpoints": 6, "matching_backend": backend},
+        seed=11,
+    )
+
+
+def _assert_bit_identical(reference, fast, what: str) -> None:
+    assert reference.total_routing_cost == fast.total_routing_cost, what
+    assert reference.total_reconfiguration_cost == fast.total_reconfiguration_cost, what
+    assert reference.matched_fraction == fast.matched_fraction, what
+    assert np.array_equal(reference.series.requests, fast.series.requests), what
+    assert np.array_equal(reference.series.routing_cost, fast.series.routing_cost), what
+    assert np.array_equal(
+        reference.series.reconfiguration_cost, fast.series.reconfiguration_cost
+    ), what
+    assert np.array_equal(
+        reference.series.matched_fraction, fast.series.matched_fraction
+    ), what
+
+
+def _compare_backends(algorithm: str, topology: str, workload: str) -> None:
+    runs = {}
+    for backend in ("reference", "fast"):
+        spec = _spec(algorithm, topology, workload, backend)
+        trace = spec.build_trace()
+        topo = spec.build_topology(trace)
+        algo = spec.build_algorithm(topo)
+        runs[backend] = (
+            run_simulation(algo, trace, SimulationConfig(
+                checkpoints=6, matching_backend=backend)),
+            sorted(algo.matching.edges),
+            sorted(algo.matching.marked_edges),
+            algo.matching.additions,
+            algo.matching.removals,
+        )
+    what = f"{algorithm} on {topology}/{workload}"
+    ref, fast = runs["reference"], runs["fast"]
+    assert type(ref[0]) is type(fast[0])
+    _assert_bit_identical(ref[0], fast[0], what)
+    assert ref[1:] == fast[1:], f"final matching state diverged for {what}"
+
+
+@pytest.mark.parametrize("topology", TOPOLOGY_NAMES)
+@pytest.mark.parametrize("algorithm", ALGORITHM_NAMES)
+def test_replay_identical_across_topologies(algorithm, topology):
+    """Every algorithm x every registered topology (canonical workload)."""
+    _compare_backends(algorithm, topology, _CANONICAL_WORKLOAD)
+
+
+@pytest.mark.parametrize("workload", [w for w in WORKLOAD_NAMES
+                                      if w != _CANONICAL_WORKLOAD])
+@pytest.mark.parametrize("algorithm", ALGORITHM_NAMES)
+def test_replay_identical_across_workloads(algorithm, workload):
+    """Every algorithm x every registered workload (canonical topology)."""
+    _compare_backends(algorithm, _CANONICAL_TOPOLOGY, workload)
+
+
+def test_backend_recorded_in_spec_roundtrip():
+    """matching_backend survives the spec dict/JSON round-trip."""
+    spec = _spec("rbma", "leaf-spine", "zipf", "reference")
+    clone = ExperimentSpec.from_dict(spec.to_dict())
+    assert clone.simulation.matching_backend == "reference"
+    assert clone == spec

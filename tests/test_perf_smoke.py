@@ -1,0 +1,51 @@
+"""Timing sanity check: the fast kernel must actually be fast.
+
+One small reference-vs-fast A/B on a BMA replay (the kernel-heaviest
+algorithm), marked ``perf_smoke`` so it can be selected on its own
+(``pytest -m perf_smoke``) while still running in the tier-1 suite.  The
+assertion threshold is deliberately loose — the fast path wins this workload
+by ~3x on an idle machine — so scheduler noise cannot flake CI, while a
+regression that erases the speedup (e.g. accidentally disabling the batched
+engine path) still fails.
+
+``BENCH_kernel.json`` (written by ``benchmarks/bench_kernel.py``) records the
+full figure-panel numbers; this test is only the canary.
+"""
+
+import time
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.experiments import ExperimentSpec
+
+pytestmark = pytest.mark.perf_smoke
+
+
+def _timed_run(backend: str) -> tuple[float, tuple]:
+    spec = ExperimentSpec(
+        algorithm={"name": "bma", "b": 4, "alpha": 8.0},
+        traffic={"name": "zipf", "params": {"n_nodes": 32, "n_requests": 8000}},
+        simulation={"checkpoints": 5, "matching_backend": backend},
+        seed=5,
+    )
+    best = float("inf")
+    costs = None
+    for _attempt in range(2):  # best-of-2 suppresses one-off scheduler blips
+        started = time.perf_counter()
+        result = spec.execute()
+        best = min(best, time.perf_counter() - started)
+        costs = (result.total_routing_cost, result.total_reconfiguration_cost,
+                 result.matched_fraction)
+    return best, costs
+
+
+def test_fast_backend_outpaces_reference():
+    reference_seconds, reference_costs = _timed_run("reference")
+    fast_seconds, fast_costs = _timed_run("fast")
+    assert fast_costs == reference_costs  # speed must not buy different results
+    assert fast_seconds < reference_seconds * 0.8, (
+        f"fast kernel took {fast_seconds:.3f}s vs reference "
+        f"{reference_seconds:.3f}s — expected a clear win; the batched replay "
+        "path or the fast kernel has regressed"
+    )

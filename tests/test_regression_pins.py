@@ -5,14 +5,31 @@ SO-BMA, Oblivious, Rotor) on small hand-checkable scenarios.  They are not
 derived from the paper; they protect the implementation against accidental
 behavioural drift (e.g. a refactor changing an eviction tie-break) that the
 property tests would not notice because the result would still be feasible.
+
+The golden-trace classes at the bottom extend the same idea to *every*
+registered algorithm (randomized ones under a pinned seed) on a committed
+800-request trace: total costs, matching counters, and the checkpoint series
+are pinned in ``tests/data/golden/golden_pins.json`` for both matching
+backends, so any kernel or replay-path change that alters observable results
+fails loudly here.  To regenerate the pins after an *intentional* behaviour
+change, run with ``REPRO_REGEN_GOLDEN=1`` and commit the updated JSON.
 """
+
+import json
+import os
+from pathlib import Path
 
 import pytest
 
-from repro.config import MatchingConfig
+from repro.config import MatchingConfig, SimulationConfig
 from repro.core import BMA, GreedyBMA, ObliviousRouting, RotorBMA, StaticOfflineBMA
+from repro.core.registry import ALGORITHMS
+from repro.simulation import run_simulation
 from repro.topology import LeafSpineTopology
+from repro.traffic.base import Trace
 from repro.types import Request, as_requests
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "data" / "golden"
 
 
 @pytest.fixture
@@ -95,3 +112,68 @@ class TestRotorPin:
         assert algo.matching.removals == 6
         assert algo.total_reconfiguration_cost == pytest.approx(12 * 4.0)
         assert len(algo.installed_slots) == 1
+
+
+# --------------------------------------------------------------------------- #
+# Golden-trace pins: every registered algorithm on a committed trace
+# --------------------------------------------------------------------------- #
+
+def _load_golden():
+    with open(GOLDEN_DIR / "golden_trace.json") as fh:
+        trace_data = json.load(fh)
+    with open(GOLDEN_DIR / "golden_pins.json") as fh:
+        pin_data = json.load(fh)
+    trace = Trace.from_pairs(
+        [tuple(p) for p in trace_data["pairs"]], trace_data["n_nodes"], name="golden"
+    )
+    return trace, pin_data
+
+
+GOLDEN_TRACE, GOLDEN = _load_golden()
+GOLDEN_ALGORITHMS = sorted(GOLDEN["pins"])
+
+
+def _run_golden(algorithm: str, backend: str):
+    topology = LeafSpineTopology(n_racks=GOLDEN_TRACE.n_nodes)
+    algo = ALGORITHMS.build(
+        algorithm,
+        topology,
+        MatchingConfig(b=GOLDEN["b"], alpha=GOLDEN["alpha"]),
+        GOLDEN["algorithm_seed"],
+        **GOLDEN["algorithm_params"].get(algorithm, {}),
+    )
+    result = run_simulation(
+        algo,
+        GOLDEN_TRACE,
+        SimulationConfig(checkpoints=GOLDEN["checkpoints"], matching_backend=backend),
+    )
+    return {
+        "total_routing_cost": result.total_routing_cost,
+        "total_reconfiguration_cost": result.total_reconfiguration_cost,
+        "matched_fraction": result.matched_fraction,
+        "additions": algo.matching.additions,
+        "removals": algo.matching.removals,
+        "checkpoint_routing": result.series.routing_cost.tolist(),
+    }
+
+
+def test_golden_registry_is_complete():
+    """A newly registered algorithm must get a golden pin (regenerate)."""
+    canonical = sorted({ALGORITHMS.canonical(name) for name in ALGORITHMS.names()})
+    assert canonical == GOLDEN_ALGORITHMS
+
+
+@pytest.mark.parametrize("backend", ["reference", "fast"])
+@pytest.mark.parametrize("algorithm", GOLDEN_ALGORITHMS)
+def test_golden_trace_pins(algorithm, backend):
+    """Exact totals/counters/series on the committed trace, both kernels."""
+    observed = _run_golden(algorithm, backend)
+    if os.environ.get("REPRO_REGEN_GOLDEN") == "1":  # pragma: no cover
+        GOLDEN["pins"][algorithm] = observed
+        with open(GOLDEN_DIR / "golden_pins.json", "w") as fh:
+            json.dump(GOLDEN, fh, indent=1)
+        pytest.skip("regenerated golden pins")
+    assert observed == GOLDEN["pins"][algorithm], (
+        f"{algorithm} ({backend} backend) drifted from its golden pin; if the "
+        "change is intentional, regenerate with REPRO_REGEN_GOLDEN=1"
+    )

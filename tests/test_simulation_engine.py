@@ -12,6 +12,46 @@ from repro.simulation import Timer, run_simulation
 from repro.traffic import uniform_random_trace, zipf_pair_trace
 
 
+class TestCheckpointPositions:
+    """Contract (see SimulationConfig): exactly min(checkpoints, n_requests)
+    strictly increasing positions ending at n_requests — rounding collisions
+    on short traces must be resolved, not silently dropped."""
+
+    def test_exhaustive_contract(self):
+        from repro.simulation.engine import _checkpoint_positions
+
+        for n_requests in range(1, 120):
+            for n_checkpoints in (1, 2, 3, 5, 7, 10, 19, 20, 50, 119, 200):
+                positions = _checkpoint_positions(n_requests, n_checkpoints)
+                expected = min(n_checkpoints, n_requests)
+                assert len(positions) == expected, (n_requests, n_checkpoints)
+                assert positions[-1] == n_requests, (n_requests, n_checkpoints)
+                assert positions[0] >= 1, (n_requests, n_checkpoints)
+                assert (np.diff(positions) >= 1).all(), (n_requests, n_checkpoints)
+
+    def test_evenly_spaced_when_no_collisions(self):
+        from repro.simulation.engine import _checkpoint_positions
+
+        assert _checkpoint_positions(100, 4).tolist() == [25, 50, 75, 100]
+        assert _checkpoint_positions(20, 20).tolist() == list(range(1, 21))
+
+    def test_empty_trace_rejected(self):
+        from repro.simulation.engine import _checkpoint_positions
+
+        with pytest.raises(SimulationError):
+            _checkpoint_positions(0, 10)
+
+    def test_run_records_exactly_min_checkpoints(self, small_leafspine):
+        for n_requests, n_checkpoints in [(7, 5), (13, 13), (9, 20), (40, 7)]:
+            trace = uniform_random_trace(n_nodes=8, n_requests=n_requests, seed=1)
+            algo = ObliviousRouting(small_leafspine, MatchingConfig(b=2, alpha=4))
+            result = run_simulation(
+                algo, trace, SimulationConfig(checkpoints=n_checkpoints)
+            )
+            assert len(result.series.requests) == min(n_checkpoints, n_requests)
+            assert result.series.requests[-1] == n_requests
+
+
 class TestTimer:
     def test_accumulates(self):
         timer = Timer()
@@ -79,7 +119,8 @@ class TestRunSimulation:
         trace = uniform_random_trace(n_nodes=8, n_requests=5, seed=0)
         algo = ObliviousRouting(small_leafspine, MatchingConfig(b=2, alpha=4))
         result = run_simulation(algo, trace, SimulationConfig(checkpoints=50))
-        assert len(result.series.requests) <= 5
+        # Contract: short traces checkpoint every request, never fewer.
+        assert result.series.requests.tolist() == [1, 2, 3, 4, 5]
 
     def test_offline_algorithm_is_fitted(self, small_fattree, fb_like_trace):
         algo = StaticOfflineBMA(small_fattree, MatchingConfig(b=3, alpha=8))
