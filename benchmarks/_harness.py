@@ -25,12 +25,15 @@ from typing import Dict, Mapping, Optional, Sequence
 from repro.analysis import format_comparison_table, format_series_table
 from repro.experiments import ExperimentSpec
 from repro.simulation import AggregateResult, ExperimentRunner
+from repro.simulation.parallel import default_worker_count
 
 __all__ = [
     "bench_scale",
     "bench_repetitions",
+    "bench_workers",
     "scaled_requests",
     "preflight",
+    "check_specs_picklable",
     "figure_specs",
     "run_figure_panel",
     "kernel_benchmark",
@@ -72,6 +75,20 @@ def bench_repetitions() -> int:
     return int(os.environ.get("REPRO_BENCH_REPETITIONS", "1"))
 
 
+def bench_workers() -> int:
+    """Worker processes for sharding panels/ablations (``REPRO_BENCH_WORKERS``).
+
+    Defaults to CPU count minus one; figure panels and ablations run their
+    (algorithm × b × repetition) grids across this many processes with
+    bit-identical results (the runs are independent; each worker rebuilds
+    its trace deterministically from the spec).
+    """
+    env = os.environ.get("REPRO_BENCH_WORKERS")
+    if env is not None:
+        return max(1, int(env))
+    return default_worker_count()
+
+
 def scaled_requests(full_count: int) -> int:
     """Scale a paper request count, keeping at least a usable minimum."""
     return max(2_000, int(full_count * bench_scale()))
@@ -107,6 +124,24 @@ def preflight() -> None:
             f"smoke-test preflight failed (exit {proc.returncode}); aborting benchmarks "
             "(set REPRO_BENCH_PREFLIGHT=0 to skip)"
         )
+    for figure in FIGURE_SETTINGS:
+        for backend in (None, "reference", "fast"):
+            check_specs_picklable(figure_specs(figure, matching_backend=backend))
+
+
+def check_specs_picklable(specs: Sequence[object]) -> None:
+    """Assert every spec round-trips through pickle before a sharded run.
+
+    Sharded execution ships specs to worker processes; a spec that pickles
+    into something different (or not at all) would silently run a different
+    experiment, so the preflight fails loudly instead — even on hosts where
+    the pool (and its own dispatch-time check) is skipped.  Figure panels
+    are checked by :func:`preflight`; the ablation sweeps call this on
+    their own spec grids.
+    """
+    from repro.simulation.parallel import _check_picklable
+
+    _check_picklable(list(specs))
 
 
 def figure_specs(figure: str, matching_backend: Optional[str] = None) -> list[ExperimentSpec]:
@@ -147,48 +182,62 @@ def run_figure_panel(figure: str) -> Dict[str, AggregateResult]:
 
     Returns a mapping from configuration label (``"rbma (b: 12)"``,
     ``"oblivious (b: ...)"``, ``"so-bma (b: ...)"``) to aggregated results,
-    all replayed on the same generated workload per repetition.
+    all replayed on the same generated workload per repetition.  The
+    (algorithm × b × repetition) grid is sharded over
+    :func:`bench_workers` processes; results are bit-identical to a
+    sequential run, so the cache key stays the figure alone.
     """
     preflight()
     runner = ExperimentRunner(repetitions=bench_repetitions(), base_seed=2023)
-    return runner.compare_on_shared_trace(figure_specs(figure))
+    return runner.compare_on_shared_trace(
+        figure_specs(figure), n_workers=bench_workers()
+    )
 
 
 def kernel_benchmark(
     figures: Sequence[str] = ("fig1", "fig2", "fig3", "fig4"),
     output_path: Optional[Path] = None,
     rounds: int = 3,
+    n_workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, float]]:
-    """Time each figure panel on the reference and fast kernels.
+    """Time each figure panel: reference vs fast kernel vs sharded fast kernel.
 
-    Every panel is run on both ``matching_backend="reference"`` (the original
-    per-request replay over the set-of-tuples kernel) and
+    Every panel is run on ``matching_backend="reference"`` (the original
+    per-request replay over the set-of-tuples kernel), on
     ``matching_backend="fast"`` (the array-backed kernel plus the batched
-    engine path) with identical specs and seeds; backends are interleaved for
-    ``rounds`` rounds and the per-backend minimum wall-clock is recorded
-    (best-of-N suppresses scheduler noise), then written with the speedup
-    ratio to ``BENCH_kernel.json`` at the repo root.  The runs produce
-    bit-identical costs (asserted here), so the timing delta is attributable
-    to the kernel and replay path alone.
+    engine path), and on the fast backend sharded over ``n_workers``
+    processes (default :func:`bench_workers`), with identical specs and
+    seeds; arms are interleaved for ``rounds`` rounds and the per-arm
+    minimum wall-clock is recorded (best-of-N suppresses scheduler noise),
+    then written with the speedup ratios to ``BENCH_kernel.json`` at the
+    repo root.  All three arms produce bit-identical costs (asserted here),
+    so the timing deltas are attributable to the kernel, the replay path,
+    and the sharding alone.  ``parallel_efficiency`` is the parallel speedup
+    over the sequential fast arm divided by the worker count (1.0 = perfect
+    scaling; on a single-CPU host the pool is skipped and the column records
+    the degenerate 1-worker run).
     """
+    workers = bench_workers() if n_workers is None else max(1, n_workers)
     report: Dict[str, Dict[str, float]] = {}
     for figure in figures:
-        # Prewarm the shared spec-layer inputs (the topology cache) so both
-        # backends are measured against identical, already-built
+        # Prewarm the shared spec-layer inputs (the topology cache) so all
+        # arms are measured against identical, already-built
         # infrastructure and the timing delta isolates kernel + replay path.
         warm_spec = figure_specs(figure)[0].with_seed(2023)
         warm_spec.build_topology(warm_spec.build_trace())
         timings: Dict[str, float] = {}
         totals: Dict[str, Dict[str, float]] = {}
+        arms = [("reference", "reference", 1), ("fast", "fast", 1),
+                ("parallel", "fast", workers)]
         for _round in range(max(1, rounds)):
-            for backend in ("reference", "fast"):
+            for arm, backend, arm_workers in arms:
                 runner = ExperimentRunner(repetitions=bench_repetitions(), base_seed=2023)
                 specs = figure_specs(figure, matching_backend=backend)
                 started = time.perf_counter()
-                results = runner.compare_on_shared_trace(specs)
+                results = runner.compare_on_shared_trace(specs, n_workers=arm_workers)
                 elapsed = time.perf_counter() - started
-                timings[backend] = min(elapsed, timings.get(backend, elapsed))
-                totals[backend] = {
+                timings[arm] = min(elapsed, timings.get(arm, elapsed))
+                totals[arm] = {
                     label: agg.routing_cost_mean for label, agg in results.items()
                 }
         if totals["reference"] != totals["fast"]:
@@ -196,17 +245,32 @@ def kernel_benchmark(
                 f"{figure}: reference and fast kernels disagree on routing costs; "
                 "run the differential test suite"
             )
+        if totals["parallel"] != totals["fast"]:
+            raise RuntimeError(
+                f"{figure}: sharded and sequential fast runs disagree on routing "
+                "costs; run the parallel bit-identity tests"
+            )
+        parallel_speedup = timings["fast"] / timings["parallel"]
         report[figure] = {
             "reference_seconds": round(timings["reference"], 4),
             "fast_seconds": round(timings["fast"], 4),
             "speedup": round(timings["reference"] / timings["fast"], 3),
+            "parallel_seconds": round(timings["parallel"], 4),
+            "parallel_workers": workers,
+            "parallel_speedup": round(parallel_speedup, 3),
+            "parallel_efficiency": round(parallel_speedup / workers, 3),
+            "total_speedup": round(timings["reference"] / timings["parallel"], 3),
         }
     payload = {
         "description": "Wall-clock seconds per figure panel: reference kernel "
         "(per-request replay over BMatching) vs fast kernel (FastBMatching + "
-        "batched engine path), identical specs/seeds and bit-identical costs.",
+        "batched engine path) vs the fast kernel sharded over worker "
+        "processes, identical specs/seeds and bit-identical costs. "
+        "parallel_efficiency = (fast_seconds / parallel_seconds) / "
+        "parallel_workers.",
         "scale": bench_scale(),
         "repetitions": bench_repetitions(),
+        "workers": workers,
         "figures": report,
     }
     path = KERNEL_BENCH_PATH if output_path is None else Path(output_path)

@@ -26,6 +26,7 @@ def _run_sweep():
         repetitions=harness.bench_repetitions(),
         base_seed=13,
         checkpoints=5,
+        n_workers=harness.bench_workers(),
     )
 
 

@@ -26,6 +26,7 @@ def _run_sweep():
         repetitions=harness.bench_repetitions(),
         base_seed=11,
         checkpoints=5,
+        n_workers=harness.bench_workers(),
     )
     return {r.label: r for r in results}
 

@@ -32,7 +32,10 @@ def _run():
                     algorithm_kwargs={"period": 200} if algorithm == "rotor" else {})
             for algorithm in ("rbma", "rotor", "oblivious")
         ]
-        tables[workload] = runner.compare_on_shared_trace(specs)
+        harness.check_specs_picklable(specs)
+        tables[workload] = runner.compare_on_shared_trace(
+            specs, n_workers=harness.bench_workers()
+        )
     return tables
 
 

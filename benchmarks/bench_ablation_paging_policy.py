@@ -33,10 +33,11 @@ def _run_ablation():
         RunSpec(algorithm="oblivious", workload="facebook-database", b=12,
                 alpha=harness.DEFAULT_ALPHA, workload_kwargs=workload_kwargs, checkpoints=5)
     )
+    harness.check_specs_picklable(specs)
     runner = ExperimentRunner(repetitions=harness.bench_repetitions(), base_seed=17)
+    aggregates = runner.run_many(specs, n_workers=harness.bench_workers())
     per_policy = {}
-    for policy, spec in zip(list(POLICIES) + ["oblivious"], specs):
-        agg = runner.run(spec)
+    for policy, agg in zip(list(POLICIES) + ["oblivious"], aggregates):
         per_policy[f"rbma[{policy}]" if policy != "oblivious" else "oblivious"] = agg
     return per_policy
 

@@ -28,8 +28,9 @@ def _run():
                 algorithm_kwargs=kwargs, checkpoints=5)
         for name, kwargs in ALGORITHMS.items()
     ]
+    harness.check_specs_picklable(specs)
     runner = ExperimentRunner(repetitions=harness.bench_repetitions(), base_seed=29)
-    return runner.compare_on_shared_trace(specs)
+    return runner.compare_on_shared_trace(specs, n_workers=harness.bench_workers())
 
 
 def test_ablation_predictions(benchmark):

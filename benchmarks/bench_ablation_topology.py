@@ -33,7 +33,10 @@ def _run_ablation():
                     checkpoints=5)
             for algorithm in ("rbma", "oblivious")
         ]
-        results = runner.compare_on_shared_trace(specs)
+        harness.check_specs_picklable(specs)
+        results = runner.compare_on_shared_trace(
+            specs, n_workers=harness.bench_workers()
+        )
         rbma = results["rbma (b: 12)"]
         oblivious = results["oblivious (b: 12)"]
         rows[topology] = (rbma, oblivious, routing_cost_reduction(rbma, oblivious))

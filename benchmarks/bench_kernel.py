@@ -24,11 +24,14 @@ import _harness as harness
 def _report(figures) -> dict:
     report = harness.kernel_benchmark(figures=tuple(figures))
     width = max(len(f) for f in report)
-    print(f"\nkernel A/B (written to {harness.KERNEL_BENCH_PATH}):")
+    print(f"\nkernel A/B/C (written to {harness.KERNEL_BENCH_PATH}):")
     for figure, row in report.items():
         print(
             f"  {figure:<{width}}  reference {row['reference_seconds']:7.3f}s   "
-            f"fast {row['fast_seconds']:7.3f}s   speedup {row['speedup']:5.2f}x"
+            f"fast {row['fast_seconds']:7.3f}s ({row['speedup']:5.2f}x)   "
+            f"parallel[{row['parallel_workers']}w] {row['parallel_seconds']:7.3f}s "
+            f"({row['parallel_speedup']:5.2f}x more, eff {row['parallel_efficiency']:.2f}, "
+            f"{row['total_speedup']:5.2f}x total)"
         )
     return report
 

@@ -8,7 +8,7 @@ construction time rather than deep inside a simulation run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, asdict
-from typing import Any, Mapping, Optional, Sequence
+from typing import Any, Mapping, Optional, Sequence, Tuple
 
 from .errors import ConfigurationError
 
@@ -80,6 +80,16 @@ class SimulationConfig:
         counts, the last of which is always ``n``.  Traces shorter than
         ``checkpoints`` therefore yield one checkpoint per request; they are
         never silently collapsed below that.
+    checkpoint_positions:
+        Explicit checkpoint positions (1-based request counts), overriding
+        the evenly spaced default — e.g. the output of
+        :func:`~repro.simulation.engine.log_spaced_checkpoints` for figures
+        with a logarithmic x-axis.  Must be strictly increasing and at least
+        1; the engine additionally rejects positions beyond the trace
+        length.  Positions may stop short of the trace end, in which case
+        the remaining requests are still served but not recorded in the
+        series (run totals always cover the whole trace).  When set,
+        ``checkpoints`` is ignored.
     matching_backend:
         Which dynamic b-matching kernel the run uses: ``"fast"`` (the
         default array-backed kernel, served through the engine's batched
@@ -105,12 +115,29 @@ class SimulationConfig:
     seed: Optional[int] = None
     repetitions: int = 1
     collect_matching_history: bool = False
+    checkpoint_positions: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
         if self.checkpoints < 1:
             raise ConfigurationError(f"checkpoints must be >= 1, got {self.checkpoints}")
         if self.repetitions < 1:
             raise ConfigurationError(f"repetitions must be >= 1, got {self.repetitions}")
+        if self.checkpoint_positions is not None:
+            positions = tuple(int(p) for p in self.checkpoint_positions)
+            if not positions:
+                raise ConfigurationError(
+                    "checkpoint_positions must be non-empty (or None for the "
+                    "evenly spaced default)"
+                )
+            if positions[0] < 1:
+                raise ConfigurationError(
+                    f"checkpoint positions must be >= 1, got {positions[0]}"
+                )
+            if any(b <= a for a, b in zip(positions, positions[1:])):
+                raise ConfigurationError(
+                    f"checkpoint_positions must be strictly increasing, got {positions}"
+                )
+            object.__setattr__(self, "checkpoint_positions", positions)
         from .matching import MATCHING_BACKENDS  # local import: config loads first
 
         if self.matching_backend not in MATCHING_BACKENDS:
@@ -121,7 +148,10 @@ class SimulationConfig:
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict form suitable for JSON serialisation."""
-        return asdict(self)
+        data = asdict(self)
+        if data["checkpoint_positions"] is not None:
+            data["checkpoint_positions"] = list(data["checkpoint_positions"])
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SimulationConfig":
@@ -132,6 +162,7 @@ class SimulationConfig:
             "seed",
             "repetitions",
             "collect_matching_history",
+            "checkpoint_positions",
         }
         if unknown:
             raise ConfigurationError(

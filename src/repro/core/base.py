@@ -86,9 +86,13 @@ class OnlineBMatchingAlgorithm(ABC):
     #: (true only for offline baselines such as SO-BMA).
     requires_full_trace: bool = False
 
-    #: Whether :meth:`serve_batch` is a hand-tuned fast path (rather than the
-    #: default per-request loop); the engine only routes contiguous trace
-    #: segments through ``serve_batch`` when this is true.
+    #: Whether :meth:`serve_batch` is a hand-tuned fast path rather than the
+    #: default per-request loop.  The engine routes every non-reference
+    #: replay through ``serve_batch`` regardless (the default implementation
+    #: degrades gracefully to per-request serving); this flag only records —
+    #: for introspection and the test that certifies full batched coverage —
+    #: that the algorithm ships a tuned implementation.  Every registered
+    #: algorithm sets it.
     supports_batch: bool = False
 
     def __init__(

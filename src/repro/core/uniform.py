@@ -29,6 +29,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from ..config import MatchingConfig
+from ..errors import SimulationError
 from ..matching import BMatching
 from ..paging.base import PagingAlgorithm
 from ..paging.registry import PagingFactory, make_paging_factory
@@ -122,6 +123,7 @@ class UniformBMatching(OnlineBMatchingAlgorithm):
     """
 
     name = "uniform"
+    supports_batch = True
 
     def __init__(
         self,
@@ -144,6 +146,56 @@ class UniformBMatching(OnlineBMatchingAlgorithm):
         request: Request,
     ) -> tuple[Tuple[NodePair, ...], Tuple[NodePair, ...]]:
         return self._matcher.process(pair)
+
+    def serve_batch(self, requests) -> None:
+        """Batched replay: every request drives paging in one tight int loop.
+
+        Unlike R-BMA there is no Theorem 1 filter — each request reaches the
+        per-node pagers — so the win over :meth:`serve` is skipping the
+        Request/ServeOutcome wrappers and testing matching membership on
+        int-encoded pairs.  Cost accounting, randomness consumption, and
+        raised errors match request-by-request serving exactly.
+        """
+        matching = self.matching
+        edge_keys = getattr(matching, "edge_keys", None)
+        decoded = self._batch_arrays(requests)
+        if edge_keys is None or decoded is None:
+            super().serve_batch(requests)
+            return
+        n = self.topology.n_racks
+        _lo, _hi, keys_arr, lengths_arr = decoded
+        keys = keys_arr.tolist()
+        lengths = lengths_arr.tolist()
+
+        process = self._matcher.process
+        alpha = self.config.alpha
+        b = self.config.b
+        routing = self.total_routing_cost
+        reconf = self.total_reconfiguration_cost
+        served = self.requests_served
+        matched = self.matched_requests
+        try:
+            for key, length in zip(keys, lengths):
+                hit = key in edge_keys
+                before = matching.additions + matching.removals
+                pair = (key // n, key % n)
+                process(pair)
+                n_changes = matching.additions + matching.removals - before
+                if n_changes and matching.degree(pair[0]) > b:
+                    raise SimulationError(
+                        f"{self.name}: degree bound violated at node {pair[0]}"
+                    )
+                routing += 1.0 if hit else length
+                if n_changes:
+                    reconf += n_changes * alpha
+                served += 1
+                if hit:
+                    matched += 1
+        finally:
+            self.total_routing_cost = routing
+            self.total_reconfiguration_cost = reconf
+            self.requests_served = served
+            self.matched_requests = matched
 
     def _reset_policy_state(self) -> None:
         self._matcher = PerNodePagingMatcher(

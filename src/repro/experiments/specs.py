@@ -395,6 +395,11 @@ class ExperimentSpec:
                 "checkpoints": self.simulation.checkpoints,
                 "matching_backend": self.simulation.matching_backend,
                 "collect_matching_history": self.simulation.collect_matching_history,
+                "checkpoint_positions": (
+                    None
+                    if self.simulation.checkpoint_positions is None
+                    else list(self.simulation.checkpoint_positions)
+                ),
             },
             "repeats": self.repeats,
             "seed": self.seed,

@@ -13,7 +13,7 @@ a process pool.
 """
 
 from .results import AggregateResult, CheckpointSeries, RunResult, aggregate_runs
-from .engine import run_simulation
+from .engine import log_spaced_checkpoints, run_simulation
 from .timer import Timer
 from .runner import (
     ExperimentRunner,
@@ -31,6 +31,7 @@ __all__ = [
     "AggregateResult",
     "aggregate_runs",
     "run_simulation",
+    "log_spaced_checkpoints",
     "Timer",
     "ExperimentRunner",
     "RunSpec",

@@ -9,14 +9,23 @@ Two replay paths share identical semantics:
 
 * the **reference path** serves one request per loop iteration, exactly as
   the original implementation did.  It is used when
-  ``SimulationConfig.matching_backend == "reference"``, when the algorithm
-  does not opt into batching, and when per-request matching history is
-  collected;
+  ``SimulationConfig.matching_backend == "reference"``, when per-request
+  matching history is collected, and when an observer demands per-request
+  batches;
 * the **batched path** pre-materialises the trace once, splits it into
   contiguous segments bounded by checkpoints (and observer batch intervals),
   and hands each segment to the algorithm's ``serve_batch`` in a single call,
   so checkpoint checks, observer dispatch, and Request/ServeOutcome
-  allocation are paid per segment instead of per request.
+  allocation are paid per segment instead of per request.  Every registered
+  algorithm ships a hand-tuned ``serve_batch``; algorithms that do not
+  override it inherit the base-class per-request loop inside the batched
+  path, so there is no engine-level fallback to route around ``serve_batch``.
+
+Checkpoint positions default to evenly spaced request counts
+(:func:`_checkpoint_positions`); ``SimulationConfig.checkpoint_positions``
+overrides them with an explicit strictly increasing sequence, e.g. from
+:func:`log_spaced_checkpoints` for the log-x-axis figures used in related
+work.
 
 Cross-cutting concerns — progress reporting, live invariant validation, cost
 tracing — are not engine flags but *observers*
@@ -48,7 +57,26 @@ from ..traffic.base import Trace
 from .results import CheckpointSeries, RunResult
 from .timer import Timer
 
-__all__ = ["run_simulation"]
+__all__ = ["run_simulation", "log_spaced_checkpoints"]
+
+
+def _strictify(ideal: np.ndarray, n_requests: int) -> np.ndarray:
+    """Round ideal positions to strictly increasing ints in ``[1, n_requests]``.
+
+    Rounding can collapse neighbours on short traces; instead of dropping the
+    duplicates (which would silently return fewer checkpoints than
+    requested), collisions are resolved by shifting positions forward while
+    clamping to the valid range.
+    """
+    positions = np.round(ideal).astype(np.int64)
+    k = positions.size
+    offsets = np.arange(k, dtype=np.int64)
+    # Strictly increasing: each position at least one past its predecessor.
+    positions = np.maximum(positions, offsets + 1)
+    positions = np.maximum.accumulate(positions - offsets) + offsets
+    # Leave room for the positions still to come, ending exactly at n.
+    positions = np.minimum(positions, n_requests - (k - 1 - offsets))
+    return positions
 
 
 def _checkpoint_positions(n_requests: int, n_checkpoints: int) -> np.ndarray:
@@ -56,23 +84,55 @@ def _checkpoint_positions(n_requests: int, n_checkpoints: int) -> np.ndarray:
 
     Contract (documented on :class:`~repro.config.SimulationConfig`): exactly
     ``min(n_checkpoints, n_requests)`` strictly increasing positions in
-    ``[1, n_requests]``, the last being ``n_requests``.  Rounding the ideal
-    evenly spaced positions can collapse neighbours on short traces; instead
-    of dropping the duplicates (the old ``np.unique`` behaviour, which
-    silently returned fewer checkpoints than requested), collisions are
-    resolved by shifting positions forward while clamping to the valid range.
+    ``[1, n_requests]``, the last being ``n_requests``, evenly spaced up to
+    rounding.
     """
     if n_requests <= 0:
         raise SimulationError("cannot simulate an empty trace")
     n_checkpoints = min(n_checkpoints, n_requests)
     ideal = np.linspace(n_requests / n_checkpoints, n_requests, n_checkpoints)
-    positions = np.round(ideal).astype(np.int64)
-    offsets = np.arange(n_checkpoints, dtype=np.int64)
-    # Strictly increasing: each position at least one past its predecessor.
-    positions = np.maximum(positions, offsets + 1)
-    positions = np.maximum.accumulate(positions - offsets) + offsets
-    # Leave room for the positions still to come, ending exactly at n.
-    positions = np.minimum(positions, n_requests - (n_checkpoints - 1 - offsets))
+    return _strictify(ideal, n_requests)
+
+
+def log_spaced_checkpoints(n_requests: int, n_checkpoints: int) -> tuple[int, ...]:
+    """Geometrically spaced checkpoint positions for log-x-axis figures.
+
+    Returns exactly ``min(n_checkpoints, n_requests)`` strictly increasing
+    positions in ``[1, n_requests]`` — the first at 1, the last at
+    ``n_requests`` — suitable for
+    :attr:`~repro.config.SimulationConfig.checkpoint_positions`.
+
+    Examples
+    --------
+    >>> log_spaced_checkpoints(10_000, 5)
+    (1, 10, 100, 1000, 10000)
+    """
+    if n_requests <= 0:
+        raise SimulationError(
+            f"n_requests must be positive, got {n_requests}"
+        )
+    if n_checkpoints < 1:
+        raise SimulationError(
+            f"n_checkpoints must be >= 1, got {n_checkpoints}"
+        )
+    n_checkpoints = min(n_checkpoints, n_requests)
+    if n_checkpoints == 1:
+        return (n_requests,)
+    ideal = np.geomspace(1.0, float(n_requests), n_checkpoints)
+    return tuple(int(p) for p in _strictify(ideal, n_requests))
+
+
+def _resolve_checkpoints(n_requests: int, config: SimulationConfig) -> np.ndarray:
+    """The run's checkpoint positions: explicit override or the even default."""
+    override = config.checkpoint_positions
+    if override is None:
+        return _checkpoint_positions(n_requests, config.checkpoints)
+    positions = np.asarray(override, dtype=np.int64)
+    if positions.size and int(positions[-1]) > n_requests:
+        raise SimulationError(
+            f"checkpoint_positions reach {int(positions[-1])} but the trace has "
+            f"only {n_requests} requests"
+        )
     return positions
 
 
@@ -128,7 +188,7 @@ def run_simulation(
     notify = bool(watchers)
 
     n_requests = len(trace)
-    checkpoints = _checkpoint_positions(n_requests, config.checkpoints)
+    checkpoints = _resolve_checkpoints(n_requests, config)
     timer = Timer()
 
     context = RunContext(algorithm=algorithm, trace=trace, config=config,
@@ -146,7 +206,6 @@ def run_simulation(
 
     use_batched_path = (
         config.matching_backend != "reference"
-        and algorithm.supports_batch
         and not config.collect_matching_history
         # Per-request batches (e.g. ValidationObserver) degenerate to
         # single-element segments; the plain loop is faster and identical.
@@ -178,18 +237,27 @@ def run_simulation(
 
     if use_batched_path:
         checkpoint_list = checkpoints.tolist()
+        n_checkpoints = len(checkpoint_list)
         next_checkpoint_idx = 0
         served = 0
         batch_start = 0
         while served < n_requests:
-            stop = checkpoint_list[next_checkpoint_idx]
+            # Explicit checkpoint overrides may end before the last request;
+            # the remaining tail is then served as one final segment.
+            if next_checkpoint_idx < n_checkpoints:
+                stop = checkpoint_list[next_checkpoint_idx]
+            else:
+                stop = n_requests
             if batch_interval is not None:
                 stop = min(stop, batch_start + batch_interval)
             segment = trace[served:stop]
             with timer:
                 algorithm.serve_batch(segment)
             served = stop
-            at_checkpoint = served >= checkpoint_list[next_checkpoint_idx]
+            at_checkpoint = (
+                next_checkpoint_idx < n_checkpoints
+                and served >= checkpoint_list[next_checkpoint_idx]
+            )
             if notify and served > batch_start:
                 interval_reached = (
                     batch_interval is not None and served - batch_start >= batch_interval

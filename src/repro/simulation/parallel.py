@@ -1,26 +1,53 @@
-"""Process-pool execution of run specs.
+"""Process-pool sharding of run specs.
 
 The simulation itself is a sequential replay (exactly as in the paper:
 "Each simulation is run sequentially. Hence, no parallelism is used during
-the execution of the proposed algorithm"), but independent runs — different
-algorithms, degree bounds, repetitions — are embarrassingly parallel.
-Because specs (:class:`~repro.experiments.specs.ExperimentSpec` and the
-legacy :class:`~repro.simulation.runner.RunSpec`) are plain picklable
-dataclasses of names and numbers, the fan-out uses the standard
-:mod:`multiprocessing` pool without any shared state.
+the execution of the proposed algorithm"), but every figure panel and
+ablation is a grid of independent (algorithm × degree-bound × repetition)
+runs — embarrassingly parallel work.  This module is the single fan-out
+point behind :func:`~repro.simulation.sweep.run_experiments`,
+:meth:`~repro.simulation.runner.ExperimentRunner.compare_on_shared_trace`,
+and the benchmark harness.
+
+Sharding model
+--------------
+* **Specs travel, objects don't.**  A unit of work is one picklable spec
+  (:class:`~repro.experiments.specs.ExperimentSpec` or the legacy
+  :class:`~repro.simulation.runner.RunSpec`) — plain names and numbers.
+  Traces, topologies, and algorithms are rebuilt *inside* the worker from
+  the spec's spawned seeds, so a sharded run is bit-identical to the same
+  specs executed sequentially: trace generation depends only on
+  ``(traffic spec, trace seed)`` and algorithm randomness only on the
+  spawned algorithm seed.  :func:`run_specs_parallel` preserves input order
+  in its results.
+* **Workers start clean.**  The pool uses an explicit spawn-safe
+  initializer (:func:`_init_worker`): it imports the registries in the
+  child — so the fan-out works identically whether the platform forks or
+  spawns, without relying on inherited module state — and it seeds
+  nothing, so worker identity can never leak into results.
+* **Per-process caches stay warm.**  Within one worker, consecutive specs
+  that share a workload reuse the generated trace (a small LRU keyed by
+  traffic spec and trace seed), and :meth:`TopologySpec.build
+  <repro.experiments.specs.TopologySpec.build>` memoises built topologies
+  per process.  The default ``chunksize`` hands each worker several
+  consecutive specs at a time so those caches actually hit when many small
+  specs are submitted (figure panels enumerate all algorithms of one
+  repetition consecutively, sharing one trace).
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import os
-from typing import List, Optional, Sequence
+import pickle
+from collections import OrderedDict
+from typing import Any, List, Optional, Sequence
 
 from ..errors import SimulationError
 from .results import RunResult
-from .runner import AnySpec, execute_run_spec
+from .runner import AnySpec, as_experiment_spec, execute_experiment_spec
 
-__all__ = ["run_specs_parallel", "default_worker_count"]
+__all__ = ["run_specs_parallel", "default_worker_count", "default_chunksize"]
 
 
 def default_worker_count() -> int:
@@ -28,27 +55,105 @@ def default_worker_count() -> int:
     return max(1, (os.cpu_count() or 2) - 1)
 
 
+def default_chunksize(n_specs: int, n_workers: int) -> int:
+    """Specs handed to a worker at a time when the caller does not pin one.
+
+    Large enough that many small specs amortise task dispatch (and hit the
+    per-worker trace/topology caches on consecutive specs), small enough
+    that every worker gets several chunks for load balancing.
+    """
+    return max(1, n_specs // (max(1, n_workers) * 4))
+
+
+#: Per-process LRU of generated traces, keyed by (workload name, generator
+#: params, trace seed).  Figure panels run every algorithm against the same
+#: workload, so with chunked dispatch a worker regenerates each trace once
+#: instead of once per spec.  Bounded: traces can be millions of requests.
+_TRACE_CACHE: "OrderedDict[tuple, Any]" = OrderedDict()
+_TRACE_CACHE_MAX = 4
+
+
+def _init_worker() -> None:
+    """Spawn-safe pool initializer.
+
+    Imports the domain registries in the child process (a no-op under fork,
+    required under spawn) and starts from empty per-process caches.  It
+    deliberately seeds nothing: all randomness must flow from the specs'
+    spawned seeds so results are independent of which worker ran a spec.
+    """
+    from .. import core, topology, traffic  # noqa: F401  (registry population)
+
+    _TRACE_CACHE.clear()
+
+
+def _cached_trace(spec) -> Any:
+    """The spec's trace, rebuilt deterministically and memoised per process."""
+    trace_seed = spec.run_seeds()[0]
+    if trace_seed is None:
+        # Unseeded specs draw fresh entropy per run; caching would turn
+        # independent workloads into copies of one draw.
+        return spec.build_trace(trace_seed)
+    try:
+        key = (
+            spec.traffic.name,
+            tuple(sorted(spec.traffic.params.items())),
+            trace_seed,
+        )
+        trace = _TRACE_CACHE.get(key)
+    except TypeError:  # unhashable generator params: rebuild every time
+        return spec.build_trace(trace_seed)
+    if trace is None:
+        trace = spec.build_trace(trace_seed)
+        _TRACE_CACHE[key] = trace
+    else:
+        _TRACE_CACHE.move_to_end(key)
+    while len(_TRACE_CACHE) > _TRACE_CACHE_MAX:
+        _TRACE_CACHE.popitem(last=False)
+    return trace
+
+
 def _worker(spec: AnySpec) -> RunResult:
-    return execute_run_spec(spec)
+    experiment = as_experiment_spec(spec)
+    return execute_experiment_spec(experiment, trace=_cached_trace(experiment))
+
+
+def _check_picklable(specs: Sequence[AnySpec]) -> None:
+    """Fail fast, with the offending spec named, before the pool dispatches."""
+    for i, spec in enumerate(specs):
+        try:
+            clone = pickle.loads(pickle.dumps(spec))
+        except Exception as exc:
+            raise SimulationError(
+                f"spec #{i} ({spec!r}) cannot be shipped to a worker process: "
+                f"pickling failed with {type(exc).__name__}: {exc}"
+            ) from exc
+        if clone != spec:
+            raise SimulationError(
+                f"spec #{i} ({spec!r}) does not round-trip through pickle; "
+                "parallel execution would run a different experiment"
+            )
 
 
 def run_specs_parallel(
     specs: Sequence[AnySpec],
     n_workers: Optional[int] = None,
-    chunksize: int = 1,
+    chunksize: Optional[int] = None,
 ) -> List[RunResult]:
     """Execute run specs across a process pool, preserving input order.
 
     Parameters
     ----------
     specs:
-        The runs to execute (legacy or structured specs).
+        The runs to execute (legacy or structured specs).  Every spec must
+        round-trip through pickle (checked up front).
     n_workers:
         Pool size; defaults to :func:`default_worker_count`.  A value of 1
         falls back to in-process execution (useful under debuggers and on
-        platforms where fork is unavailable).
+        single-CPU hosts, where a pool would only add overhead).
     chunksize:
-        Number of specs handed to a worker at a time.
+        Number of specs handed to a worker at a time; defaults to
+        :func:`default_chunksize`, which keeps per-worker caches warm when
+        many small specs are submitted.
     """
     if not specs:
         return []
@@ -56,7 +161,10 @@ def run_specs_parallel(
         raise SimulationError(f"n_workers must be >= 1, got {n_workers}")
     workers = n_workers or default_worker_count()
     if workers == 1 or len(specs) == 1:
-        return [execute_run_spec(spec) for spec in specs]
+        return [execute_experiment_spec(as_experiment_spec(spec)) for spec in specs]
+    _check_picklable(specs)
+    if chunksize is None:
+        chunksize = default_chunksize(len(specs), workers)
     ctx = mp.get_context("spawn") if os.name == "nt" else mp.get_context()
-    with ctx.Pool(processes=workers) as pool:
+    with ctx.Pool(processes=workers, initializer=_init_worker) as pool:
         return list(pool.map(_worker, list(specs), chunksize=chunksize))

@@ -213,12 +213,42 @@ class ExperimentRunner:
         ]
         return aggregate_runs(runs)
 
-    def run_many(self, specs: Sequence[AnySpec]) -> List[AggregateResult]:
-        """Run several configurations sequentially."""
-        return [self.run(spec) for spec in specs]
+    def run_many(
+        self, specs: Sequence[AnySpec], n_workers: int = 1
+    ) -> List[AggregateResult]:
+        """Run several configurations, optionally sharded over worker processes.
+
+        With ``n_workers > 1`` the individual (spec × repetition) runs are
+        distributed over a process pool via
+        :func:`~repro.simulation.parallel.run_specs_parallel`; results are
+        bit-identical to sequential execution (each worker rebuilds its
+        trace deterministically from the spec) but observers are not shipped
+        to pool workers.
+        """
+        if n_workers <= 1:
+            return [self.run(spec) for spec in specs]
+        from .parallel import run_specs_parallel  # local: avoid import cycle
+
+        experiments = [as_experiment_spec(spec) for spec in specs]
+        seeds = self.repetition_seeds()
+        # Repetition-major, like compare_on_shared_trace: specs sharing a
+        # workload and a repetition seed land consecutively, so chunked
+        # dispatch serves them from one per-worker trace build.
+        grid = [
+            experiment.with_seed(seed)
+            for seed in seeds
+            for experiment in experiments
+        ]
+        flat = run_specs_parallel(grid, n_workers=n_workers)
+        return [
+            aggregate_runs(
+                [flat[r * len(experiments) + i] for r in range(len(seeds))]
+            )
+            for i in range(len(experiments))
+        ]
 
     def compare_on_shared_trace(
-        self, specs: Sequence[AnySpec]
+        self, specs: Sequence[AnySpec], n_workers: int = 1
     ) -> Dict[str, AggregateResult]:
         """Run several algorithm specs on the *same* generated workloads.
 
@@ -226,6 +256,14 @@ class ExperimentRunner:
         repetition one trace is generated and every algorithm replays it —
         the setup behind each panel of the paper's figures.  Returns a dict
         keyed by ``"<algorithm> (b: <b>)"``.
+
+        With ``n_workers > 1`` the (repetition × spec) grid is sharded over
+        a process pool.  Workers rebuild the repetition's trace
+        deterministically from their spec (the trace seed is spawned from
+        the repetition seed alone, so every spec of a repetition regenerates
+        the *same* workload, cached per worker process); costs are therefore
+        bit-identical to sequential execution.  Observers are not shipped to
+        pool workers, matching :func:`~repro.simulation.sweep.run_experiments`.
         """
         if not specs:
             raise ConfigurationError("compare_on_shared_trace needs at least one spec")
@@ -234,17 +272,33 @@ class ExperimentRunner:
             raise ConfigurationError(
                 "compare_on_shared_trace requires all specs to share the same workload"
             )
+        seeds = self.repetition_seeds()
         per_spec_runs: Dict[int, List[RunResult]] = {i: [] for i in range(len(experiments))}
-        for seed in self.repetition_seeds():
-            seeded = [experiment.with_seed(seed) for experiment in experiments]
-            # All seeded specs share traffic and seed, hence the same trace.
-            shared_trace = seeded[0].build_trace()
-            for i, experiment in enumerate(seeded):
-                per_spec_runs[i].append(
-                    execute_experiment_spec(
-                        experiment, trace=shared_trace, observers=self.observers
+        if n_workers > 1:
+            from .parallel import run_specs_parallel  # local: avoid import cycle
+
+            # Repetition-major order keeps one repetition's specs (which
+            # share a trace) consecutive, so chunked dispatch lets the
+            # per-worker trace cache serve a whole panel from one build.
+            grid = [
+                experiment.with_seed(seed)
+                for seed in seeds
+                for experiment in experiments
+            ]
+            flat = run_specs_parallel(grid, n_workers=n_workers)
+            for j, result in enumerate(flat):
+                per_spec_runs[j % len(experiments)].append(result)
+        else:
+            for seed in seeds:
+                seeded = [experiment.with_seed(seed) for experiment in experiments]
+                # All seeded specs share traffic and seed, hence the same trace.
+                shared_trace = seeded[0].build_trace()
+                for i, experiment in enumerate(seeded):
+                    per_spec_runs[i].append(
+                        execute_experiment_spec(
+                            experiment, trace=shared_trace, observers=self.observers
+                        )
                     )
-                )
         results: Dict[str, AggregateResult] = {}
         for i in range(len(experiments)):
             agg = aggregate_runs(per_spec_runs[i])

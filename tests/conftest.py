@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 
@@ -19,6 +20,22 @@ if _SRC.exists() and str(_SRC) not in sys.path:
 from repro.config import MatchingConfig, SimulationConfig
 from repro.topology import FatTreeTopology, LeafSpineTopology, StarTopology
 from repro.traffic import database_trace, uniform_random_trace, zipf_pair_trace
+
+
+def pytest_collection_modifyitems(config, items):
+    """Auto-skip ``parallel``-marked tests on single-CPU hosts.
+
+    Process-pool sharding works on one CPU but only adds overhead there, and
+    CI boxes with a single core should not pay for (or flake on) pool
+    startup; the marker documents the requirement instead of each test
+    re-checking it.
+    """
+    if (os.cpu_count() or 1) >= 2:
+        return
+    skip = pytest.mark.skip(reason="parallel tests need os.cpu_count() >= 2")
+    for item in items:
+        if "parallel" in item.keywords:
+            item.add_marker(skip)
 
 
 @pytest.fixture

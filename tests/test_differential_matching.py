@@ -256,3 +256,71 @@ def test_backend_recorded_in_spec_roundtrip():
     clone = ExperimentSpec.from_dict(spec.to_dict())
     assert clone.simulation.matching_backend == "reference"
     assert clone == spec
+
+
+# --------------------------------------------------------------------------- #
+# Batched-path coverage: every algorithm, segment-boundary robustness
+# --------------------------------------------------------------------------- #
+
+
+def test_every_registered_algorithm_is_batched():
+    """No registered algorithm may fall back to the default per-request loop.
+
+    ``supports_batch`` marks a hand-tuned ``serve_batch``; since PR 3 every
+    registered algorithm ships one, so the engine's batched path never
+    degenerates to per-request serving for library algorithms.
+    """
+    topo = TOPOLOGIES.build("leaf-spine", n_racks=8)
+    for name in ALGORITHM_NAMES:
+        algo = ALGORITHMS.build(name, topo, MatchingConfig(b=3, alpha=4.0), 0)
+        assert algo.supports_batch, f"{name} still takes the per-request fallback"
+        assert "serve_batch" in type(algo).__dict__, (
+            f"{name} sets supports_batch but inherits the default serve_batch"
+        )
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHM_NAMES)
+@pytest.mark.parametrize("seed", [0, 1])
+def test_serve_batch_random_segments_match_serve(algorithm, seed):
+    """serve_batch over arbitrary segment splits == request-by-request serve.
+
+    The engine only ever hands out checkpoint- and interval-aligned
+    segments; this drives every algorithm's hand-tuned batch loop across
+    *random* segment boundaries (including single-request segments) so that
+    all state carried between ``serve_batch`` calls — rotation counters,
+    predictor windows, expert costs, paging marks — is proven equivalent to
+    sequential serving, not just equivalent at checkpoint granularity.
+    """
+    spec = _spec(algorithm, "leaf-spine", "zipf", "fast")
+    trace = spec.build_trace()
+    topo = spec.build_topology(trace)
+
+    batched = spec.build_algorithm(topo)
+    if batched.requires_full_trace:
+        batched.fit(trace)
+    rng = np.random.default_rng(seed)
+    cuts = sorted(rng.choice(len(trace), size=12, replace=False).tolist())
+    bounds = [0] + [c for c in cuts if c > 0] + [len(trace)]
+    for start, stop in zip(bounds, bounds[1:]):
+        if stop > start:
+            batched.serve_batch(trace[start:stop])
+
+    sequential = spec.build_algorithm(topo)
+    if sequential.requires_full_trace:
+        sequential.fit(list(trace.requests()))
+    for request in trace.requests():
+        sequential.serve(request)
+
+    what = f"{algorithm} (seed {seed})"
+    assert batched.total_routing_cost == sequential.total_routing_cost, what
+    assert (
+        batched.total_reconfiguration_cost == sequential.total_reconfiguration_cost
+    ), what
+    assert batched.requests_served == sequential.requests_served, what
+    assert batched.matched_requests == sequential.matched_requests, what
+    assert sorted(batched.matching.edges) == sorted(sequential.matching.edges), what
+    assert sorted(batched.matching.marked_edges) == sorted(
+        sequential.matching.marked_edges
+    ), what
+    assert batched.matching.additions == sequential.matching.additions, what
+    assert batched.matching.removals == sequential.matching.removals, what

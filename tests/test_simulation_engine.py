@@ -52,6 +52,88 @@ class TestCheckpointPositions:
             assert result.series.requests[-1] == n_requests
 
 
+class TestCheckpointPositionOverride:
+    """SimulationConfig.checkpoint_positions replaces the even default."""
+
+    def _run(self, positions, n_requests=60, backend="fast", algo_cls=RBMA):
+        trace = zipf_pair_trace(n_nodes=8, n_requests=n_requests, seed=3)
+        topo_cfg = MatchingConfig(b=2, alpha=4)
+        from repro.topology import LeafSpineTopology
+
+        algo = algo_cls(LeafSpineTopology(n_racks=8, n_spines=2), topo_cfg, rng=1)
+        return run_simulation(
+            algo,
+            trace,
+            SimulationConfig(
+                checkpoint_positions=positions, matching_backend=backend
+            ),
+        )
+
+    def test_override_is_respected_on_both_replay_paths(self):
+        positions = (1, 4, 16, 60)
+        for backend in ("fast", "reference"):
+            result = self._run(positions, backend=backend)
+            assert result.series.requests.tolist() == list(positions)
+
+    def test_override_may_stop_short_of_the_trace_end(self):
+        # Positions ending early still serve (and total) the whole trace.
+        result = self._run((5, 10), n_requests=40)
+        assert result.series.requests.tolist() == [5, 10]
+        assert result.n_requests == 40
+        final = self._run((5, 10, 40), n_requests=40)
+        assert result.series.routing_cost.tolist() == final.series.routing_cost.tolist()[:2]
+        assert result.total_routing_cost == final.total_routing_cost
+
+    def test_override_beyond_trace_rejected(self):
+        with pytest.raises(SimulationError, match="checkpoint_positions"):
+            self._run((10, 100), n_requests=50)
+
+    def test_validation_rejects_bad_positions(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(checkpoint_positions=(3, 3, 5))
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(checkpoint_positions=(0, 5))
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(checkpoint_positions=())
+
+    def test_positions_coerced_to_int_tuple(self):
+        config = SimulationConfig(checkpoint_positions=[1, 5, 9])
+        assert config.checkpoint_positions == (1, 5, 9)
+        assert config.to_dict()["checkpoint_positions"] == [1, 5, 9]
+        assert SimulationConfig.from_dict(config.to_dict()) == config
+
+    def test_log_spaced_helper_contract(self):
+        from repro.simulation import log_spaced_checkpoints
+
+        assert log_spaced_checkpoints(10_000, 5) == (1, 10, 100, 1000, 10000)
+        for n_requests in (1, 2, 7, 97, 1000):
+            for k in (1, 2, 5, 20, 200):
+                positions = log_spaced_checkpoints(n_requests, k)
+                assert len(positions) == min(k, n_requests)
+                assert positions[-1] == n_requests
+                assert positions[0] >= 1
+                assert all(b > a for a, b in zip(positions, positions[1:]))
+
+    def test_log_spaced_positions_survive_spec_roundtrip(self):
+        from repro.experiments import ExperimentSpec
+        from repro.simulation import log_spaced_checkpoints
+
+        spec = ExperimentSpec(
+            algorithm={"name": "rbma", "b": 2, "alpha": 4},
+            traffic={"name": "zipf", "params": {"n_nodes": 8, "n_requests": 100}},
+            simulation={"checkpoint_positions": log_spaced_checkpoints(100, 6)},
+        )
+        clone = ExperimentSpec.from_json(spec.to_json())
+        assert clone == spec
+        assert clone.simulation.checkpoint_positions == spec.simulation.checkpoint_positions
+        result = spec.execute()
+        assert result.series.requests.tolist() == list(
+            log_spaced_checkpoints(100, 6)
+        )
+
+
 class TestTimer:
     def test_accumulates(self):
         timer = Timer()

@@ -1,0 +1,143 @@
+"""Sharded execution: bit-identity, worker hygiene, and spec portability.
+
+The sharding contract (see :mod:`repro.simulation.parallel`) is that moving
+runs into worker processes may change *nothing* about the results: workers
+rebuild traces deterministically from their specs, so a parallel figure panel
+must be bit-identical to the sequential one.  Pool-spawning tests carry the
+``parallel`` marker and are auto-skipped on single-CPU hosts (see
+``tests/conftest.py``); the pure-logic tests (chunk sizing, trace cache,
+pickle validation) always run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.experiments import ExperimentSpec
+from repro.simulation import ExperimentRunner, RunSpec, run_specs_parallel
+from repro.simulation.parallel import (
+    _cached_trace,
+    _check_picklable,
+    _init_worker,
+    default_chunksize,
+)
+
+
+def _panel_specs(algorithms=("rbma", "bma", "oblivious", "rotor")):
+    return [
+        ExperimentSpec(
+            algorithm={"name": name, "b": 3, "alpha": 4.0},
+            traffic={"name": "zipf", "params": {"n_nodes": 10, "n_requests": 400}},
+            simulation={"checkpoints": 5},
+        )
+        for name in algorithms
+    ]
+
+
+def _assert_series_identical(a, b, what):
+    assert a.routing_cost_mean == b.routing_cost_mean, what
+    assert np.array_equal(a.series.requests, b.series.requests), what
+    assert np.array_equal(a.series.routing_cost, b.series.routing_cost), what
+    assert np.array_equal(
+        a.series.reconfiguration_cost, b.series.reconfiguration_cost
+    ), what
+    assert np.array_equal(a.series.matched_fraction, b.series.matched_fraction), what
+
+
+# --------------------------------------------------------------------------- #
+# Pure-logic pieces (no pool)
+# --------------------------------------------------------------------------- #
+
+
+def test_default_chunksize_balances_dispatch_and_cache_hits():
+    # Many small specs: several consecutive specs per task ...
+    assert default_chunksize(100, 4) == 6
+    # ... but every worker still sees multiple chunks for load balancing.
+    assert default_chunksize(100, 4) * 4 * 4 <= 100
+    # Degenerate inputs clamp to 1 instead of 0.
+    assert default_chunksize(1, 8) == 1
+    assert default_chunksize(0, 8) == 1
+
+
+def test_worker_trace_cache_returns_identical_workloads():
+    _init_worker()  # start from an empty cache, as a fresh worker would
+    spec = _panel_specs(["rbma"])[0].with_seed(13)
+    first = _cached_trace(spec)
+    second = _cached_trace(spec)
+    assert second is first  # memoised within the process
+    rebuilt = spec.build_trace()
+    assert np.array_equal(first.sources, rebuilt.sources)
+    assert np.array_equal(first.destinations, rebuilt.destinations)
+
+
+def test_worker_trace_cache_never_caches_unseeded_specs():
+    _init_worker()
+    spec = _panel_specs(["rbma"])[0].with_seed(None)
+    first = _cached_trace(spec)
+    second = _cached_trace(spec)
+    # Fresh entropy per run: caching would silently correlate repetitions.
+    assert second is not first
+
+
+def test_unpicklable_spec_is_rejected_before_dispatch():
+    bad = RunSpec(
+        algorithm="rbma",
+        workload="zipf",
+        b=2,
+        workload_kwargs={"n_nodes": 8, "n_requests": 50},
+        algorithm_kwargs={"paging_factory": lambda capacity, rng: None},
+    )
+    with pytest.raises(SimulationError, match="pickl"):
+        _check_picklable([bad])
+
+
+def test_single_worker_falls_back_to_in_process_execution():
+    specs = [s.with_seed(3) for s in _panel_specs(["rbma", "oblivious"])]
+    results = run_specs_parallel(specs, n_workers=1)
+    assert [r.algorithm for r in results] == ["rbma", "oblivious"]
+
+
+# --------------------------------------------------------------------------- #
+# Pool-backed bit-identity (auto-skipped on single-CPU hosts)
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parallel
+def test_compare_on_shared_trace_parallel_bit_identical():
+    """Sharded figure panels must match sequential ones exactly.
+
+    This is the engine-level guarantee the sharded benchmark pipeline rests
+    on: per repetition every spec spawns the same trace seed, so a worker
+    rebuilding the trace produces the byte-identical workload the sequential
+    path shares in-process.
+    """
+    specs = _panel_specs(("rbma", "bma", "oblivious", "rotor", "predictive",
+                          "hybrid", "uniform", "greedy"))
+    sequential = ExperimentRunner(repetitions=3, base_seed=2023).compare_on_shared_trace(specs)
+    parallel = ExperimentRunner(repetitions=3, base_seed=2023).compare_on_shared_trace(
+        specs, n_workers=2
+    )
+    assert list(sequential) == list(parallel)
+    for label in sequential:
+        _assert_series_identical(sequential[label], parallel[label], label)
+
+
+@pytest.mark.parallel
+def test_run_many_parallel_bit_identical():
+    specs = _panel_specs(("rbma", "bma"))
+    runner_seq = ExperimentRunner(repetitions=2, base_seed=5)
+    runner_par = ExperimentRunner(repetitions=2, base_seed=5)
+    for seq, par in zip(
+        runner_seq.run_many(specs), runner_par.run_many(specs, n_workers=2)
+    ):
+        assert seq.label == par.label
+        _assert_series_identical(seq, par, seq.label)
+
+
+@pytest.mark.parallel
+def test_run_specs_parallel_preserves_order_with_chunking():
+    specs = [s.with_seed(7) for s in _panel_specs(("rbma", "oblivious", "greedy"))]
+    results = run_specs_parallel(specs * 2, n_workers=2, chunksize=2)
+    assert [r.algorithm for r in results] == ["rbma", "oblivious", "greedy"] * 2
