@@ -125,7 +125,7 @@ def preflight() -> None:
             "(set REPRO_BENCH_PREFLIGHT=0 to skip)"
         )
     for figure in FIGURE_SETTINGS:
-        for backend in (None, "reference", "fast"):
+        for backend in (None, "reference", "fast", "numba"):
             check_specs_picklable(figure_specs(figure, matching_backend=backend))
 
 
@@ -200,23 +200,36 @@ def kernel_benchmark(
     rounds: int = 3,
     n_workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, float]]:
-    """Time each figure panel: reference vs fast kernel vs sharded fast kernel.
+    """Time each figure panel: reference vs fast vs numba vs sharded fast.
 
     Every panel is run on ``matching_backend="reference"`` (the original
     per-request replay over the set-of-tuples kernel), on
     ``matching_backend="fast"`` (the array-backed kernel plus the batched
-    engine path), and on the fast backend sharded over ``n_workers``
-    processes (default :func:`bench_workers`), with identical specs and
-    seeds; arms are interleaved for ``rounds`` rounds and the per-arm
-    minimum wall-clock is recorded (best-of-N suppresses scheduler noise),
-    then written with the speedup ratios to ``BENCH_kernel.json`` at the
-    repo root.  All three arms produce bit-identical costs (asserted here),
-    so the timing deltas are attributable to the kernel, the replay path,
-    and the sharding alone.  ``parallel_efficiency`` is the parallel speedup
-    over the sequential fast arm divided by the worker count (1.0 = perfect
-    scaling; on a single-CPU host the pool is skipped and the column records
-    the degenerate 1-worker run).
+    engine path), on ``matching_backend="numba"`` when the compiled backend
+    is genuinely active (numba installed and not masked — the uncompiled
+    pure-Python test mode is excluded: it would measure the wrong thing),
+    and on the fast backend sharded over ``n_workers`` processes (default
+    :func:`bench_workers`), with identical specs and seeds; arms are
+    interleaved for ``rounds`` rounds and the per-arm minimum wall-clock is
+    recorded (best-of-N suppresses scheduler noise), then written with the
+    speedup ratios to ``BENCH_kernel.json`` at the repo root.  All arms
+    produce bit-identical costs (asserted here), so the timing deltas are
+    attributable to the kernel, the replay path, and the sharding alone.
+    ``speedup``/``numba_speedup`` are against the reference and fast arms
+    respectively; ``parallel_efficiency`` is the parallel speedup over the
+    sequential fast arm divided by the worker count (1.0 = perfect scaling;
+    on a single-CPU host the pool is skipped and the column records the
+    degenerate 1-worker run).  On hosts without an active numba backend the
+    numba columns record ``numba_active: false`` so downstream readers can
+    tell "not measured" from "measured slow".
     """
+    from repro.matching import NUMBA_AVAILABLE, numba_backend_active
+    from repro.matching.numba_bmatching import warmup_kernels
+
+    numba_active = NUMBA_AVAILABLE and numba_backend_active()
+    if numba_active:
+        # JIT compilation must happen outside the measured region.
+        warmup_kernels()
     workers = bench_workers() if n_workers is None else max(1, n_workers)
     report: Dict[str, Dict[str, float]] = {}
     for figure in figures:
@@ -229,6 +242,8 @@ def kernel_benchmark(
         totals: Dict[str, Dict[str, float]] = {}
         arms = [("reference", "reference", 1), ("fast", "fast", 1),
                 ("parallel", "fast", workers)]
+        if numba_active:
+            arms.insert(2, ("numba", "numba", 1))
         for _round in range(max(1, rounds)):
             for arm, backend, arm_workers in arms:
                 runner = ExperimentRunner(repetitions=bench_repetitions(), base_seed=2023)
@@ -240,37 +255,44 @@ def kernel_benchmark(
                 totals[arm] = {
                     label: agg.routing_cost_mean for label, agg in results.items()
                 }
-        if totals["reference"] != totals["fast"]:
-            raise RuntimeError(
-                f"{figure}: reference and fast kernels disagree on routing costs; "
-                "run the differential test suite"
-            )
-        if totals["parallel"] != totals["fast"]:
-            raise RuntimeError(
-                f"{figure}: sharded and sequential fast runs disagree on routing "
-                "costs; run the parallel bit-identity tests"
-            )
+        for arm, _backend, _workers in arms[1:]:
+            if totals[arm] != totals["reference"]:
+                raise RuntimeError(
+                    f"{figure}: {arm} arm disagrees with the reference kernel on "
+                    "routing costs; run the differential test suite"
+                )
         parallel_speedup = timings["fast"] / timings["parallel"]
-        report[figure] = {
+        row: Dict[str, float] = {
             "reference_seconds": round(timings["reference"], 4),
             "fast_seconds": round(timings["fast"], 4),
             "speedup": round(timings["reference"] / timings["fast"], 3),
+            "numba_active": numba_active,
             "parallel_seconds": round(timings["parallel"], 4),
             "parallel_workers": workers,
             "parallel_speedup": round(parallel_speedup, 3),
             "parallel_efficiency": round(parallel_speedup / workers, 3),
             "total_speedup": round(timings["reference"] / timings["parallel"], 3),
         }
+        if numba_active:
+            row["numba_seconds"] = round(timings["numba"], 4)
+            row["numba_speedup"] = round(timings["fast"] / timings["numba"], 3)
+            row["numba_total_speedup"] = round(
+                timings["reference"] / timings["numba"], 3
+            )
+        report[figure] = row
     payload = {
         "description": "Wall-clock seconds per figure panel: reference kernel "
         "(per-request replay over BMatching) vs fast kernel (FastBMatching + "
-        "batched engine path) vs the fast kernel sharded over worker "
-        "processes, identical specs/seeds and bit-identical costs. "
-        "parallel_efficiency = (fast_seconds / parallel_seconds) / "
-        "parallel_workers.",
+        "batched engine path) vs the compiled numba kernel (when active) vs "
+        "the fast kernel sharded over worker processes, identical "
+        "specs/seeds and bit-identical costs. numba_speedup = fast_seconds "
+        "/ numba_seconds; numba_active=false means the host had no compiled "
+        "backend, not that it measured slow. parallel_efficiency = "
+        "(fast_seconds / parallel_seconds) / parallel_workers.",
         "scale": bench_scale(),
         "repetitions": bench_repetitions(),
         "workers": workers,
+        "numba_active": numba_active,
         "figures": report,
     }
     path = KERNEL_BENCH_PATH if output_path is None else Path(output_path)

@@ -1,10 +1,11 @@
-"""Kernel A/B benchmark — reference vs fast matching backend per figure.
+"""Kernel A/B/C benchmark — reference vs fast vs numba backend per figure.
 
-Runs every figure panel twice on identical specs and seeds, once per
+Runs every figure panel on identical specs and seeds, once per
 ``matching_backend`` (``"reference"`` = original per-request replay over the
 set-of-tuples kernel; ``"fast"`` = array-backed kernel plus the batched
-engine path), asserts the costs are bit-identical, and records the
-wall-clock seconds and speedup ratio in ``BENCH_kernel.json`` at the repo
+engine path; ``"numba"`` = compiled scan kernels, timed only where numba is
+genuinely installed), asserts the costs are bit-identical, and records the
+wall-clock seconds and speedup ratios in ``BENCH_kernel.json`` at the repo
 root.
 
 Usage::
@@ -26,9 +27,17 @@ def _report(figures) -> dict:
     width = max(len(f) for f in report)
     print(f"\nkernel A/B/C (written to {harness.KERNEL_BENCH_PATH}):")
     for figure, row in report.items():
+        if row.get("numba_active"):
+            numba_col = (
+                f"numba {row['numba_seconds']:7.3f}s "
+                f"({row['numba_speedup']:5.2f}x vs fast)   "
+            )
+        else:
+            numba_col = "numba     n/a (backend inactive)   "
         print(
             f"  {figure:<{width}}  reference {row['reference_seconds']:7.3f}s   "
             f"fast {row['fast_seconds']:7.3f}s ({row['speedup']:5.2f}x)   "
+            f"{numba_col}"
             f"parallel[{row['parallel_workers']}w] {row['parallel_seconds']:7.3f}s "
             f"({row['parallel_speedup']:5.2f}x more, eff {row['parallel_efficiency']:.2f}, "
             f"{row['total_speedup']:5.2f}x total)"

@@ -1,0 +1,22 @@
+#!/bin/sh
+# nonumba CI tier: run the kernel differential harness with the compiled
+# backend masked out (REPRO_NO_NUMBA=1, honoured by the backend gate in
+# repro.matching.numba_bmatching.numba_backend_active), guaranteeing the
+# numba -> fast fallback path stays exercised even on hosts where numba
+# installs fine.  Under this mask:
+#   * make_matching("numba") returns the pure-Python fast kernel (with a
+#     one-time warning) — the fallback tests in test_numba_backend.py
+#     assert exactly that;
+#   * the "numba" legs of the differential, golden-pin, and degenerate
+#     shape matrices resolve to the fallback, so they certify that specs
+#     pinning matching_backend="numba" stay green without numba.
+# Extra pytest arguments are passed through.
+set -eu
+cd "$(dirname "$0")/.."
+REPRO_NO_NUMBA=1 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    exec python -m pytest -q \
+    tests/test_differential_matching.py \
+    tests/test_numba_backend.py \
+    tests/test_serve_batch_degenerate.py \
+    tests/test_regression_pins.py \
+    "$@"

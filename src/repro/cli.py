@@ -29,7 +29,7 @@ from .analysis import format_comparison_table, format_series_table
 from .analysis.plotting import plot_results
 from .config import SweepConfig
 from .core import available_algorithms
-from .errors import ReproError
+from .errors import ConfigurationError, ReproError
 from .experiments import ExperimentSpec, ProgressObserver
 from .paging import available_paging_policies
 from .simulation import (
@@ -140,8 +140,31 @@ def _run_specs(args: argparse.Namespace, algorithms: Sequence[str]):
     return runner.compare_on_shared_trace(_build_specs(args, algorithms))
 
 
+def _load_spec(path: str) -> ExperimentSpec:
+    """Load a spec file, mapping every parse failure onto a one-line CLI error.
+
+    ``ExperimentSpec.load_json`` raises :class:`ConfigurationError` for
+    malformed JSON and unknown keys, but a spec whose *values* have the
+    wrong shape (``"seed": "abc"``, an algorithm given as a bare string, a
+    list where an object belongs) used to surface as a raw
+    ``TypeError``/``ValueError`` traceback.  Wrap those into the library's
+    error hierarchy so ``main`` prints its usual actionable one-liner and
+    exits non-zero instead.
+    """
+    try:
+        return ExperimentSpec.load_json(path)
+    except (ReproError, OSError):
+        raise
+    except (TypeError, ValueError, KeyError, AttributeError) as exc:
+        raise ConfigurationError(
+            f"spec file {path!r} does not describe a valid experiment "
+            f"({type(exc).__name__}: {exc}); compare it against "
+            "ExperimentSpec.to_json() output or docs in repro.experiments.specs"
+        ) from exc
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    spec = ExperimentSpec.load_json(args.spec)
+    spec = _load_spec(args.spec)
     if args.repeats is not None:
         spec = spec.with_seed(spec.seed, repeats=args.repeats)
     if args.seed is not None:

@@ -93,11 +93,16 @@ class SimulationConfig:
     matching_backend:
         Which dynamic b-matching kernel the run uses: ``"fast"`` (the
         default array-backed kernel, served through the engine's batched
-        replay path) or ``"reference"`` (the original set-of-tuples kernel,
+        replay path), ``"reference"`` (the original set-of-tuples kernel,
         replayed request by request — the pre-optimization code path kept
-        for differential testing and kernel benchmarks).  The engine rebinds
-        a freshly constructed algorithm onto the requested backend before
-        the first request; both backends produce bit-identical results.
+        for differential testing and kernel benchmarks), or ``"numba"``
+        (the compiled kernel: the fast kernel plus ``@njit`` batch-scan
+        loops for rbma/bma/hybrid).  ``"numba"`` is import-optional — on
+        hosts without numba (or with ``REPRO_NO_NUMBA`` set) it falls back
+        to ``"fast"`` with a one-time warning, so pinned specs stay
+        runnable everywhere.  The engine rebinds a freshly constructed
+        algorithm onto the requested backend before the first request; all
+        backends produce bit-identical results.
     seed:
         Seed for the algorithm's internal randomness.  Trace generation has
         its own seed so that algorithm randomness and workload randomness
@@ -123,7 +128,25 @@ class SimulationConfig:
         if self.repetitions < 1:
             raise ConfigurationError(f"repetitions must be >= 1, got {self.repetitions}")
         if self.checkpoint_positions is not None:
-            positions = tuple(int(p) for p in self.checkpoint_positions)
+            coerced = []
+            for p in self.checkpoint_positions:
+                # int(10.7) would silently truncate and could even break the
+                # strictly-increasing contract after the fact; accept only
+                # integral values (10 and 10.0 alike, as JSON round-trips
+                # may deliver either).
+                try:
+                    as_int = int(p)
+                except (TypeError, ValueError) as exc:
+                    raise ConfigurationError(
+                        f"checkpoint positions must be integers, got {p!r}"
+                    ) from exc
+                if as_int != p:
+                    raise ConfigurationError(
+                        f"checkpoint positions must be integers, got {p!r} "
+                        "(refusing to silently truncate)"
+                    )
+                coerced.append(as_int)
+            positions = tuple(coerced)
             if not positions:
                 raise ConfigurationError(
                     "checkpoint_positions must be non-empty (or None for the "

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..config import MatchingConfig
 from ..errors import ConfigurationError, SimulationError
+from ..matching.numba_bmatching import lut_diff
 from ..topology import Topology
 from ..types import NodePair, Request
 from .base import OnlineBMatchingAlgorithm
@@ -73,6 +74,12 @@ class HybridBMA(OnlineBMatchingAlgorithm):
         self._predictive = PredictiveBMA(
             self.topology, self.config, period=self._period, window=self._window
         )
+        # Fresh experts start on the default kernel; keep them on the
+        # combiner's backend so reset() after a rebind (where the engine's
+        # own rebind is a no-op and _on_matching_rebound never fires) does
+        # not silently drop the experts back to the fast kernel.
+        self._robust.rebind_matching_backend(self._matching_backend)
+        self._predictive.rebind_matching_backend(self._matching_backend)
         self._following: OnlineBMatchingAlgorithm = self._robust
         self._switches = 0
 
@@ -186,15 +193,28 @@ class HybridBMA(OnlineBMatchingAlgorithm):
                 if following.total_cost > factor * max(other.total_cost, 1.0):
                     self._following = other
                     self._switches += 1
-                    target_keys = getattr(other.matching, "edge_keys", None)
-                    if target_keys is None:
-                        target_keys = {
-                            a * n + c for a, c in other.matching.edges
-                        }
-                    for k in sorted(edge_keys - target_keys):
-                        matching.remove(k // n, k % n)
-                    for k in sorted(target_keys - edge_keys):
-                        matching.add(k // n, k % n)
+                    # Full edge-set diff on switch steps.  On the numba
+                    # backend both matchings expose membership LUTs and the
+                    # diff runs compiled (ascending key order == sorted
+                    # canonical pairs); otherwise diff the int key sets.
+                    member = getattr(matching, "member_lut", None)
+                    target_member = getattr(other.matching, "member_lut", None)
+                    if member is not None and target_member is not None:
+                        removed_keys, added_keys = lut_diff(member, target_member)
+                        for k in removed_keys:
+                            matching.remove(k // n, k % n)
+                        for k in added_keys:
+                            matching.add(k // n, k % n)
+                    else:
+                        target_keys = getattr(other.matching, "edge_keys", None)
+                        if target_keys is None:
+                            target_keys = {
+                                a * n + c for a, c in other.matching.edges
+                            }
+                        for k in sorted(edge_keys - target_keys):
+                            matching.remove(k // n, k % n)
+                        for k in sorted(target_keys - edge_keys):
+                            matching.add(k // n, k % n)
                 else:
                     outcome = (
                         robust_outcome if following is robust else predictive_outcome

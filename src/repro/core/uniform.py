@@ -153,8 +153,13 @@ class UniformBMatching(OnlineBMatchingAlgorithm):
         Unlike R-BMA there is no Theorem 1 filter — each request reaches the
         per-node pagers — so the win over :meth:`serve` is skipping the
         Request/ServeOutcome wrappers and testing matching membership on
-        int-encoded pairs.  Cost accounting, randomness consumption, and
-        raised errors match request-by-request serving exactly.
+        int-encoded pairs.  For the same reason the ``"numba"`` backend has
+        no scan to compile here: every request must drive the (Python,
+        RNG-consuming) paging machinery, so its acceleration for uniform
+        comes only from the compiled kernel's cheaper mark/prune/add
+        bookkeeping inside ``process``.  Cost accounting, randomness
+        consumption, and raised errors match request-by-request serving
+        exactly on every backend.
         """
         matching = self.matching
         edge_keys = getattr(matching, "edge_keys", None)

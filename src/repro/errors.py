@@ -52,5 +52,16 @@ class SimulationError(ReproError):
     """The simulation engine was misused or reached an inconsistent state."""
 
 
+class WorkerExecutionError(SimulationError):
+    """A (possibly remote) worker failed while executing one run spec.
+
+    The message embeds the failing spec's JSON (algorithm/topology/seed and
+    all other parameters) plus the original error, because the original
+    exception's traceback and cause do not survive the trip back across a
+    process boundary — in a 500-spec sweep the message must identify the
+    culprit on its own.
+    """
+
+
 class SolverError(ReproError):
     """A static matching solver failed or was given unsupported input."""

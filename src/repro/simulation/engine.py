@@ -20,6 +20,13 @@ Two replay paths share identical semantics:
   algorithm ships a hand-tuned ``serve_batch``; algorithms that do not
   override it inherit the base-class per-request loop inside the batched
   path, so there is no engine-level fallback to route around ``serve_batch``.
+  The ``"numba"`` backend rides this same path unchanged: the engine hands
+  out identical segments and the algorithms' drivers decide per segment
+  whether the compiled scan kernels apply, so observer and checkpoint
+  semantics are untouched by the compiled backend.  Each result records the
+  requested backend and the kernel that actually ran in
+  ``RunResult.extra["matching_backend"]`` / ``extra["matching_kernel"]``
+  (they differ exactly when numba fell back to the fast kernel).
 
 Checkpoint positions default to evenly spaced request counts
 (:func:`_checkpoint_positions`); ``SimulationConfig.checkpoint_positions``
@@ -300,7 +307,13 @@ def run_simulation(
         elapsed_seconds=np.asarray(cp_elapsed, dtype=np.float64),
         matched_fraction=np.asarray(cp_matched, dtype=np.float64),
     )
-    extra: dict = {}
+    extra: dict = {
+        # Provenance: the backend the config asked for and the kernel that
+        # actually ran.  They differ exactly when the numba backend fell
+        # back to the pure-Python fast kernel (numba missing or masked).
+        "matching_backend": config.matching_backend,
+        "matching_kernel": algorithm.matching.backend_name,
+    }
     if config.collect_matching_history:
         extra["matching_history"] = matching_history
 

@@ -37,13 +37,14 @@ Sharding model
 
 from __future__ import annotations
 
+import json
 import multiprocessing as mp
 import os
 import pickle
 from collections import OrderedDict
 from typing import Any, List, Optional, Sequence
 
-from ..errors import SimulationError
+from ..errors import SimulationError, WorkerExecutionError
 from .results import RunResult
 from .runner import AnySpec, as_experiment_spec, execute_experiment_spec
 
@@ -112,9 +113,35 @@ def _cached_trace(spec) -> Any:
     return trace
 
 
+def _describe_spec(spec) -> str:
+    """The spec's JSON (algorithm/topology/seed, ...) for error context."""
+    try:
+        return json.dumps(spec.to_dict(), sort_keys=True, default=repr)
+    except Exception:  # pragma: no cover - description must never mask the real error
+        return repr(spec)
+
+
 def _worker(spec: AnySpec) -> RunResult:
+    """Execute one spec, attaching the spec's identity to any failure.
+
+    A bare exception escaping a pool worker reaches the caller stripped of
+    its worker-side traceback and cause, with no hint of *which* of
+    possibly hundreds of specs failed; re-raising as
+    :class:`~repro.errors.WorkerExecutionError` with the spec's JSON in the
+    message makes a sweep failure diagnosable from the parent process
+    alone.  Used by both the pool path and the in-process ``n_workers=1``
+    fallback so failures read the same either way.
+    """
     experiment = as_experiment_spec(spec)
-    return execute_experiment_spec(experiment, trace=_cached_trace(experiment))
+    try:
+        return execute_experiment_spec(experiment, trace=_cached_trace(experiment))
+    except WorkerExecutionError:
+        raise
+    except Exception as exc:
+        raise WorkerExecutionError(
+            f"worker failed with {type(exc).__name__}: {exc}; "
+            f"failing spec: {_describe_spec(experiment)}"
+        ) from exc
 
 
 def _check_picklable(specs: Sequence[AnySpec]) -> None:
@@ -161,7 +188,10 @@ def run_specs_parallel(
         raise SimulationError(f"n_workers must be >= 1, got {n_workers}")
     workers = n_workers or default_worker_count()
     if workers == 1 or len(specs) == 1:
-        return [execute_experiment_spec(as_experiment_spec(spec)) for spec in specs]
+        # In-process fallback goes through the same _worker wrapper as the
+        # pool so failures carry identical spec context (and consecutive
+        # specs sharing a workload hit the same trace cache).
+        return [_worker(spec) for spec in specs]
     _check_picklable(specs)
     if chunksize is None:
         chunksize = default_chunksize(len(specs), workers)

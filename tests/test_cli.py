@@ -177,3 +177,33 @@ class TestRunSpecFile:
         code = main(["run", str(spec_path)])
         assert code == 2
         assert "did you mean 'rbma'" in capsys.readouterr().err
+
+    def test_run_malformed_json_returns_error_code(self, tmp_path, capsys):
+        """Regression: a syntactically broken spec file must not traceback."""
+        spec_path = tmp_path / "broken.json"
+        spec_path.write_text("{this is not json")
+        assert main(["run", str(spec_path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "JSON" in err
+
+    def test_run_wrongly_typed_spec_returns_error_code(self, tmp_path, capsys):
+        """Regression: valid JSON with wrong value shapes used to traceback.
+
+        ``"seed": "abc"`` survives JSON parsing and key validation, then
+        exploded as a raw ValueError inside int(); the CLI must turn it
+        into its usual one-line error instead.
+        """
+        spec_path = tmp_path / "spec.json"
+        self._write_spec(spec_path, seed="abc")
+        assert main(["run", str(spec_path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "does not describe a valid experiment" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_run_non_object_spec_returns_error_code(self, tmp_path, capsys):
+        spec_path = tmp_path / "list.json"
+        spec_path.write_text("[1, 2, 3]")
+        assert main(["run", str(spec_path)]) == 2
+        assert "must be an object" in capsys.readouterr().err

@@ -56,6 +56,31 @@ class TestSimulationConfig:
         with pytest.raises(ConfigurationError):
             SimulationConfig(repetitions=0)
 
+    def test_rejects_non_integral_checkpoint_positions(self):
+        """Regression: int(10.7) used to silently truncate the position."""
+        with pytest.raises(ConfigurationError, match="truncate"):
+            SimulationConfig(checkpoint_positions=(10.7,))
+        # Truncation of (10, 10.7) would even break the strictly-increasing
+        # contract after validation claimed to enforce it.
+        with pytest.raises(ConfigurationError, match="integers"):
+            SimulationConfig(checkpoint_positions=(10, 10.7))
+        with pytest.raises(ConfigurationError, match="integers"):
+            SimulationConfig(checkpoint_positions=("3",))
+
+    def test_accepts_integral_float_checkpoint_positions(self):
+        """JSON round-trips may deliver 10.0 for 10; both must coerce losslessly."""
+        cfg = SimulationConfig(checkpoint_positions=(1, 10.0, 20))
+        assert cfg.checkpoint_positions == (1, 10, 20)
+        assert all(isinstance(p, int) for p in cfg.checkpoint_positions)
+
+    def test_matching_backend_numba_is_always_a_valid_name(self):
+        """'numba' validates everywhere; availability is resolved at build time."""
+        assert SimulationConfig(matching_backend="numba").matching_backend == "numba"
+
+    def test_rejects_unknown_matching_backend(self):
+        with pytest.raises(ConfigurationError, match="unknown matching_backend"):
+            SimulationConfig(matching_backend="cython")
+
 
 class TestSweepConfig:
     def test_combinations_cross_product(self):

@@ -9,9 +9,9 @@ property tests would not notice because the result would still be feasible.
 The golden-trace classes at the bottom extend the same idea to *every*
 registered algorithm (randomized ones under a pinned seed) on a committed
 800-request trace: total costs, matching counters, and the checkpoint series
-are pinned in ``tests/data/golden/golden_pins.json`` for both matching
-backends, so any kernel or replay-path change that alters observable results
-fails loudly here.  To regenerate the pins after an *intentional* behaviour
+are pinned in ``tests/data/golden/golden_pins.json`` for every matching
+backend (reference, fast, and numba), so any kernel or replay-path change
+that alters observable results fails loudly here.  To regenerate the pins after an *intentional* behaviour
 change, run with ``REPRO_REGEN_GOLDEN=1`` and commit the updated JSON.
 """
 
@@ -163,10 +163,18 @@ def test_golden_registry_is_complete():
     assert canonical == GOLDEN_ALGORITHMS
 
 
-@pytest.mark.parametrize("backend", ["reference", "fast"])
+@pytest.mark.parametrize("backend", ["reference", "fast", "numba"])
 @pytest.mark.parametrize("algorithm", GOLDEN_ALGORITHMS)
-def test_golden_trace_pins(algorithm, backend):
-    """Exact totals/counters/series on the committed trace, both kernels."""
+def test_golden_trace_pins(algorithm, backend, monkeypatch):
+    """Exact totals/counters/series on the committed trace, every kernel.
+
+    The numba leg forces the pure-Python escape hatch so it pins the numba
+    code path even on hosts without numba (compiled where available);
+    under the nonumba CI tier (``REPRO_NO_NUMBA=1``) it instead pins the
+    numba->fast fallback, which must hit the same goldens by definition.
+    """
+    if backend == "numba":
+        monkeypatch.setenv("REPRO_NUMBA_PUREPY", "1")
     observed = _run_golden(algorithm, backend)
     if os.environ.get("REPRO_REGEN_GOLDEN") == "1":  # pragma: no cover
         GOLDEN["pins"][algorithm] = observed

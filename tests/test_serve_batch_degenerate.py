@@ -1,0 +1,157 @@
+"""Degenerate ``serve_batch`` shapes, pinned on every backend and algorithm.
+
+The compiled (numba) backend's scan kernels stop and resume at arbitrary
+indices, so their edge cases — zero-length segments, segments of one
+request, ``b = 1`` (every insertion can force an eviction), and runs with a
+single checkpoint (one segment spanning the whole trace) — are pinned here
+for *all* backends before any kernel change can regress them.  The numba
+legs run uncompiled via ``REPRO_NUMBA_PUREPY`` where numba is missing, and
+degrade to fallback coverage under the nonumba CI tier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import MatchingConfig, SimulationConfig
+from repro.core.registry import ALGORITHMS
+from repro.simulation import run_simulation
+from repro.topology import LeafSpineTopology
+from repro.traffic import zipf_pair_trace
+
+BACKENDS = ("reference", "fast", "numba")
+
+ALGORITHM_NAMES = sorted({ALGORITHMS.canonical(name) for name in ALGORITHMS.names()})
+
+N_NODES = 8
+N_REQUESTS = 120
+
+
+@pytest.fixture(autouse=True)
+def _enable_numba_leg(monkeypatch):
+    monkeypatch.setenv("REPRO_NUMBA_PUREPY", "1")
+
+
+@pytest.fixture
+def topo():
+    return LeafSpineTopology(n_racks=N_NODES)
+
+
+@pytest.fixture
+def trace():
+    return zipf_pair_trace(n_nodes=N_NODES, n_requests=N_REQUESTS, seed=9)
+
+
+def _build(name: str, topo, b: int = 3, seed: int = 5, backend: str = "fast"):
+    params = {"solver": "greedy"} if name == "so-bma" else {}
+    algo = ALGORITHMS.build(name, topo, MatchingConfig(b=b, alpha=4.0), seed, **params)
+    algo.rebind_matching_backend(backend)
+    return algo
+
+
+def _state(algo):
+    return (
+        algo.total_routing_cost,
+        algo.total_reconfiguration_cost,
+        algo.requests_served,
+        algo.matched_requests,
+        sorted(algo.matching.edges),
+        sorted(algo.matching.marked_edges),
+        algo.matching.additions,
+        algo.matching.removals,
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("algorithm", ALGORITHM_NAMES)
+def test_empty_segment_is_a_no_op(algorithm, backend, topo, trace):
+    """A zero-length segment must change nothing — before or mid-run."""
+    algo = _build(algorithm, topo, backend=backend)
+    if algo.requires_full_trace:
+        algo.fit(trace)
+    # Some algorithms (rotor's schedule, so-bma's fitted solution) install a
+    # matching before the first request; the invariant is *unchanged state*,
+    # not pristine state.
+    initial = _state(algo)
+    assert initial[2] == 0  # no requests served yet
+    algo.serve_batch(trace[0:0])
+    assert _state(algo) == initial
+    # Mid-run: serve a prefix, then an empty segment, then verify stability.
+    algo.serve_batch(trace[0:40])
+    mid = _state(algo)
+    algo.serve_batch(trace[40:40])
+    assert _state(algo) == mid
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("algorithm", ALGORITHM_NAMES)
+def test_single_request_segments_match_sequential_serve(algorithm, backend, topo, trace):
+    """All-singleton segmentation equals request-by-request serving."""
+    short = trace[0:25]
+    batched = _build(algorithm, topo, backend=backend)
+    if batched.requires_full_trace:
+        batched.fit(short)
+    for i in range(len(short)):
+        batched.serve_batch(short[i:i + 1])
+
+    sequential = _build(algorithm, topo, backend=backend)
+    if sequential.requires_full_trace:
+        sequential.fit(list(short.requests()))
+    for request in short.requests():
+        sequential.serve(request)
+
+    assert _state(batched) == _state(sequential), f"{algorithm} on {backend}"
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("algorithm", ALGORITHM_NAMES)
+def test_b_equal_one_batched_matches_sequential(algorithm, backend, topo, trace):
+    """b=1: every saturation can evict, the harshest pruning regime."""
+    batched = _build(algorithm, topo, b=1, backend=backend)
+    if batched.requires_full_trace:
+        batched.fit(trace)
+    batched.serve_batch(trace)
+
+    sequential = _build(algorithm, topo, b=1, backend=backend)
+    if sequential.requires_full_trace:
+        sequential.fit(list(trace.requests()))
+    for request in trace.requests():
+        sequential.serve(request)
+
+    assert _state(batched) == _state(sequential), f"{algorithm} on {backend}"
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHM_NAMES)
+def test_single_checkpoint_run_identical_across_backends(algorithm, topo, trace):
+    """checkpoints=1 → one segment spanning the whole trace, every backend."""
+    totals = {}
+    for backend in BACKENDS:
+        algo = _build(algorithm, topo, backend="fast")  # engine rebinds
+        result = run_simulation(
+            algo, trace, SimulationConfig(checkpoints=1, matching_backend=backend)
+        )
+        assert result.series.requests.tolist() == [N_REQUESTS]
+        totals[backend] = (
+            result.total_routing_cost,
+            result.total_reconfiguration_cost,
+            result.matched_fraction,
+            result.series.routing_cost.tolist(),
+        )
+    assert totals["fast"] == totals["reference"], algorithm
+    assert totals["numba"] == totals["reference"], algorithm
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHM_NAMES)
+def test_one_request_trace_identical_across_backends(algorithm, topo):
+    """A one-request trace: the series collapses to a single checkpoint."""
+    tiny = zipf_pair_trace(n_nodes=N_NODES, n_requests=1, seed=2)
+    totals = {}
+    for backend in BACKENDS:
+        algo = _build(algorithm, topo, backend="fast")
+        result = run_simulation(
+            algo, tiny, SimulationConfig(checkpoints=10, matching_backend=backend)
+        )
+        assert len(result.series.requests) == 1
+        totals[backend] = (result.total_routing_cost, result.total_reconfiguration_cost)
+    assert totals["fast"] == totals["reference"] == totals["numba"], algorithm

@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.errors import SimulationError
+from repro.errors import SimulationError, WorkerExecutionError
 from repro.experiments import ExperimentSpec
 from repro.simulation import ExperimentRunner, RunSpec, run_specs_parallel
 from repro.simulation.parallel import (
@@ -97,6 +97,50 @@ def test_single_worker_falls_back_to_in_process_execution():
     specs = [s.with_seed(3) for s in _panel_specs(["rbma", "oblivious"])]
     results = run_specs_parallel(specs, n_workers=1)
     assert [r.algorithm for r in results] == ["rbma", "oblivious"]
+
+
+def _failing_spec() -> ExperimentSpec:
+    """A spec that validates but fails inside the engine at run time."""
+    return ExperimentSpec(
+        algorithm={"name": "rbma", "b": 3, "alpha": 4.0},
+        traffic={"name": "zipf", "params": {"n_nodes": 10, "n_requests": 40}},
+        # Positions beyond the trace length pass config validation (the
+        # trace length is unknown there) and explode inside run_simulation.
+        simulation={"checkpoint_positions": [999]},
+        seed=5,
+    )
+
+
+def test_worker_failure_names_the_failing_spec():
+    """Regression: a failing run must identify its spec, not just the error.
+
+    A 500-spec sweep dying with a bare "checkpoint_positions reach 999"
+    used to leave no way to tell *which* spec was broken; the re-raised
+    error must carry the spec's JSON (algorithm/topology/seed).
+    """
+    ok = _panel_specs(["rbma"])[0].with_seed(3)
+    with pytest.raises(WorkerExecutionError) as excinfo:
+        run_specs_parallel([ok, _failing_spec()], n_workers=1)
+    message = str(excinfo.value)
+    assert "failing spec" in message
+    assert '"rbma"' in message and '"zipf"' in message
+    assert '"seed": 5' in message
+    assert "checkpoint_positions reach 999" in message
+    # The original error class is named even though the exception object
+    # itself would not survive a process boundary.
+    assert "SimulationError" in message
+
+
+@pytest.mark.parallel
+def test_worker_failure_context_survives_the_process_boundary():
+    """The same context must arrive intact from a real pool worker."""
+    specs = [s.with_seed(3) for s in _panel_specs(["rbma", "oblivious"])]
+    specs.append(_failing_spec())
+    with pytest.raises(WorkerExecutionError) as excinfo:
+        run_specs_parallel(specs, n_workers=2, chunksize=1)
+    message = str(excinfo.value)
+    assert "failing spec" in message
+    assert '"seed": 5' in message
 
 
 # --------------------------------------------------------------------------- #
