@@ -9,7 +9,10 @@
 #     assert exactly that;
 #   * the "numba" legs of the differential, golden-pin, and degenerate
 #     shape matrices resolve to the fallback, so they certify that specs
-#     pinning matching_backend="numba" stay green without numba.
+#     pinning matching_backend="numba" stay green without numba;
+#   * the static solver tier (tests/test_solver_backends.py) runs with the
+#     same mask, so the solver_backend="numba" -> "array" fallback and the
+#     nx/array differential harness are certified on numba-less hosts too.
 # Extra pytest arguments are passed through.
 set -eu
 cd "$(dirname "$0")/.."
@@ -19,4 +22,5 @@ REPRO_NO_NUMBA=1 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
     tests/test_numba_backend.py \
     tests/test_serve_batch_degenerate.py \
     tests/test_regression_pins.py \
+    tests/test_solver_backends.py \
     "$@"

@@ -71,6 +71,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0, help="base random seed")
         p.add_argument("--repetitions", type=int, default=1, help="repetitions to average")
         p.add_argument("--checkpoints", type=int, default=10, help="checkpoints to record")
+        p.add_argument("--solver-backend", default=None,
+                       help="static blossom kernel for SO-BMA: array (default), "
+                            "nx, or numba")
 
     p_run = sub.add_parser("run", help="execute an experiment described by a JSON spec file")
     p_run.add_argument("spec", help="path to an ExperimentSpec JSON file")
@@ -125,7 +128,8 @@ def build_parser() -> argparse.ArgumentParser:
 def _build_specs(args: argparse.Namespace, algorithms: Sequence[str]):
     return [
         ExperimentSpec(
-            algorithm={"name": algorithm, "b": args.b, "alpha": args.alpha},
+            algorithm={"name": algorithm, "b": args.b, "alpha": args.alpha,
+                       "solver_backend": args.solver_backend},
             traffic={"name": args.workload,
                      "params": {"n_nodes": args.nodes, "n_requests": args.requests}},
             topology={"name": args.topology},
@@ -235,6 +239,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         base_seed=args.seed,
         checkpoints=args.checkpoints,
         n_workers=args.workers,
+        solver_backend=args.solver_backend,
     )
     # Label collisions would silently drop rows: disambiguate by alpha when
     # more than one alpha value is swept.

@@ -34,11 +34,21 @@ class MatchingConfig:
         ``(b, a)`` setting.  Defaults to ``b`` (the classic setting).
     alpha:
         Reconfiguration cost per matching edge added or removed.
+    solver_backend:
+        Which static blossom kernel SO-BMA's iterated maximum-weight solve
+        uses: ``"array"`` (the flat-array Galil kernel, the library
+        default), ``"nx"`` (the original NetworkX path, kept as reference),
+        or ``"numba"`` (the array kernel's compiled slack scan;
+        import-optional — it falls back to ``"array"`` with a one-time
+        warning when numba is missing or masked).  All backends produce
+        identical matchings; ``None`` means the library default.  Only
+        algorithms that run a static solve (SO-BMA) read this.
     """
 
     b: int
     alpha: float = 1.0
     a: Optional[int] = None
+    solver_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.b < 1:
@@ -48,6 +58,11 @@ class MatchingConfig:
         a = self.b if self.a is None else self.a
         if not (1 <= a <= self.b):
             raise ConfigurationError(f"a must satisfy 1 <= a <= b={self.b}, got {a}")
+        if self.solver_backend is not None:
+            from .matching import SOLVER_BACKENDS  # local import: config loads first
+
+            # Raises ConfigurationError with "did you mean ...?" suggestions.
+            SOLVER_BACKENDS.resolve(self.solver_backend)
 
     @property
     def effective_a(self) -> int:

@@ -21,7 +21,12 @@ import numpy as np
 
 from ..config import MatchingConfig
 from ..errors import ConfigurationError
-from ..matching import greedy_b_matching, iterated_max_weight_b_matching
+from ..matching import (
+    DEFAULT_SOLVER_BACKEND,
+    greedy_b_matching,
+    iterated_max_weight_b_matching,
+    resolve_solver_backend,
+)
 from ..topology import Topology
 from ..types import NodePair, Request
 from .base import OnlineBMatchingAlgorithm
@@ -36,9 +41,16 @@ class StaticOfflineBMA(OnlineBMatchingAlgorithm):
     ----------
     solver:
         ``"blossom"`` (default) computes ``b`` rounds of maximum-weight
-        matching with NetworkX's blossom algorithm, as in the paper;
-        ``"greedy"`` uses the 1/2-approximate greedy instead (much faster for
-        large sweeps).
+        matching with the blossom algorithm, as in the paper; ``"greedy"``
+        uses the 1/2-approximate greedy instead (much faster for large
+        sweeps).  The blossom *kernel* is selected by
+        ``config.solver_backend`` (see
+        :data:`repro.matching.SOLVER_BACKENDS`); all kernels produce
+        identical matchings.  After :meth:`fit`, :attr:`solver_provenance`
+        records the requested backend and the kernel that actually ran
+        (they differ exactly when the numba solver fell back to the array
+        kernel), and the simulation engine copies that record into
+        ``RunResult.extra``.
     """
 
     name = "so-bma"
@@ -56,26 +68,49 @@ class StaticOfflineBMA(OnlineBMatchingAlgorithm):
         if solver not in ("blossom", "greedy"):
             raise ConfigurationError(f"unknown SO-BMA solver {solver!r}")
         self.solver = solver
+        self.solver_provenance: Optional[Dict[str, str]] = None
         self._fitted = False
+
+    def aggregate_demand(self, requests: Sequence[Request]) -> Dict[NodePair, float]:
+        """Aggregate a trace into per-pair routing-cost savings.
+
+        These are exactly the weights :meth:`fit` hands the static solver
+        (pairs in first-occurrence order, which is the solver's tie-breaking
+        order); exposed so benchmarks and analyses can time or inspect the
+        solve separately from the aggregation.
+        """
+        decoded = self._batch_arrays(requests)
+        if decoded is not None:
+            return self._aggregate_arrays(decoded)
+        weights: Dict[NodePair, float] = {}
+        for request in requests:
+            pair = self.topology.validate_pair(request.src, request.dst)
+            saving = (self.topology.pair_length(pair) - 1.0) * request.size
+            if saving <= 0:
+                continue
+            weights[pair] = weights.get(pair, 0.0) + saving
+        return weights
 
     def fit(self, requests: Sequence[Request]) -> None:
         """Aggregate the trace into pair weights and install the best static matching."""
-        decoded = self._batch_arrays(requests)
-        if decoded is not None:
-            weights = self._aggregate_arrays(decoded)
-        else:
-            weights = {}
-            for request in requests:
-                pair = self.topology.validate_pair(request.src, request.dst)
-                saving = (self.topology.pair_length(pair) - 1.0) * request.size
-                if saving <= 0:
-                    continue
-                weights[pair] = weights.get(pair, 0.0) + saving
+        weights = self.aggregate_demand(requests)
 
         if self.solver == "blossom":
-            chosen = iterated_max_weight_b_matching(weights, self.topology.n_racks, self.config.b)
+            requested = self.config.solver_backend
+            effective = resolve_solver_backend(requested)
+            chosen = iterated_max_weight_b_matching(
+                weights, self.topology.n_racks, self.config.b, backend=requested
+            )
+            self.solver_provenance = {
+                "solver_backend": requested or DEFAULT_SOLVER_BACKEND,
+                "solver_kernel": effective,
+            }
         else:
             chosen = greedy_b_matching(weights, self.topology.n_racks, self.config.b)
+            self.solver_provenance = {
+                "solver_backend": "greedy",
+                "solver_kernel": "greedy",
+            }
 
         # Install the static matching; the one-time setup cost is charged to
         # reconfiguration so that total-cost comparisons remain honest even
@@ -149,3 +184,4 @@ class StaticOfflineBMA(OnlineBMatchingAlgorithm):
 
     def _reset_policy_state(self) -> None:
         self._fitted = False
+        self.solver_provenance = None

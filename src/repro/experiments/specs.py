@@ -201,12 +201,19 @@ class TrafficSpec:
 
 @dataclass(frozen=True)
 class AlgorithmSpec:
-    """The online algorithm, by registered name plus matching parameters."""
+    """The online algorithm, by registered name plus matching parameters.
+
+    ``solver_backend`` selects the static blossom kernel for algorithms that
+    run an offline solve (SO-BMA); ``None`` means the library default.  It
+    round-trips through spec JSON and is validated against
+    :data:`repro.matching.SOLVER_BACKENDS` (typos get suggestions).
+    """
 
     name: str
     b: int = 12
     alpha: float = 1.0
     a: Optional[int] = None
+    solver_backend: Optional[str] = None
     params: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -214,7 +221,9 @@ class AlgorithmSpec:
 
     def matching_config(self) -> MatchingConfig:
         """The (validating) :class:`~repro.config.MatchingConfig` this spec encodes."""
-        return MatchingConfig(b=self.b, alpha=self.alpha, a=self.a)
+        return MatchingConfig(
+            b=self.b, alpha=self.alpha, a=self.a, solver_backend=self.solver_backend
+        )
 
     def validate(self) -> "AlgorithmSpec":
         """Resolve the name and validate the matching parameters (raises early)."""
@@ -234,12 +243,17 @@ class AlgorithmSpec:
             "b": self.b,
             "alpha": self.alpha,
             "a": self.a,
+            "solver_backend": self.solver_backend,
             "params": dict(self.params),
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "AlgorithmSpec":
-        _check_keys(data, frozenset({"name", "b", "alpha", "a", "params"}), "AlgorithmSpec")
+        _check_keys(
+            data,
+            frozenset({"name", "b", "alpha", "a", "solver_backend", "params"}),
+            "AlgorithmSpec",
+        )
         if "name" not in data:
             raise ConfigurationError("AlgorithmSpec requires an algorithm 'name'")
         return cls(
@@ -247,6 +261,7 @@ class AlgorithmSpec:
             b=int(data.get("b", 12)),
             alpha=float(data.get("alpha", 1.0)),
             a=None if data.get("a") is None else int(data["a"]),
+            solver_backend=data.get("solver_backend"),
             params=dict(data.get("params", {})),
         )
 

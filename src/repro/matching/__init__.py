@@ -42,6 +42,18 @@ sequences and whole traces through them in lockstep and requires identical
 edges, marks, counters, exceptions, and bit-identical run costs, plus
 golden-trace pins (``tests/test_regression_pins.py``) that fail loudly if
 any kernel's observable behaviour drifts.
+
+Static solver backends
+----------------------
+The *static* maximum-weight solvers behind SO-BMA follow the same tier
+pattern through :data:`SOLVER_BACKENDS` / ``MatchingConfig.solver_backend``:
+``"nx"`` (the original NetworkX blossom path, kept as reference),
+``"array"`` (default — the flat-array Galil kernel in
+:mod:`repro.matching.blossom`, behaviour-identical to NetworkX), and
+``"numba"`` (the array kernel's compiled slack scan, falling back to
+``"array"`` when inactive).  Iterated solves are memoised on a demand
+fingerprint and ``b``-sweeps share nested prefixes; see
+:mod:`repro.matching.static_solver` and ``tests/test_solver_backends.py``.
 """
 
 import warnings
@@ -51,10 +63,16 @@ from .bmatching import BMatching
 from .fast_bmatching import FastBMatching
 from .numba_bmatching import NUMBA_AVAILABLE, NumbaBMatching, numba_backend_active
 from .static_solver import (
+    DEFAULT_SOLVER_BACKEND,
+    SOLVER_BACKENDS,
     exact_max_weight_b_matching,
     greedy_b_matching,
     iterated_max_weight_b_matching,
     matching_weight,
+    resolve_solver_backend,
+    solve_b_rounds,
+    solver_cache_clear,
+    solver_cache_info,
 )
 from .validation import check_b_matching, is_valid_b_matching
 from ..errors import MatchingError
@@ -69,9 +87,15 @@ __all__ = [
     "DEFAULT_MATCHING_BACKEND",
     "make_matching",
     "convert_matching",
+    "SOLVER_BACKENDS",
+    "DEFAULT_SOLVER_BACKEND",
+    "resolve_solver_backend",
     "greedy_b_matching",
     "iterated_max_weight_b_matching",
+    "solve_b_rounds",
     "exact_max_weight_b_matching",
+    "solver_cache_info",
+    "solver_cache_clear",
     "matching_weight",
     "is_valid_b_matching",
     "check_b_matching",

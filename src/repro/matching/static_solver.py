@@ -1,36 +1,87 @@
 """Static maximum-weight b-matching solvers.
 
 The paper's offline baseline SO-BMA computes a maximum weight matching over
-the aggregate demand of the whole trace using NetworkX's blossom
-implementation (Galil / Edmonds).  For ``b > 1`` we provide:
+the aggregate demand of the whole trace using the blossom algorithm (Galil /
+Edmonds).  For ``b > 1`` we provide:
 
 * :func:`iterated_max_weight_b_matching` — runs the blossom algorithm ``b``
   times, removing chosen edges between rounds.  Each round is a (1-)matching,
   so the union trivially satisfies the degree bound; this mirrors how the
   optical switches are provisioned (one matching per switch) and is the
   solver used by SO-BMA.
+* :func:`solve_b_rounds` — the same iterated construction, but returning
+  *every* nested prefix ``b = 1..b_max`` from a single pass.  Round ``i``
+  depends only on rounds ``1..i-1``, so a sweep over ``b`` needs ``b_max``
+  blossom rounds instead of ``1 + 2 + ... + b_max``.
 * :func:`greedy_b_matching` — the classic 1/2-approximate greedy that scans
   edges by decreasing weight; much faster, used for large ablations.
 * :func:`exact_max_weight_b_matching` — exhaustive search for tiny instances,
   used by the tests to certify the quality of the two heuristics.
+
+Solver backends
+---------------
+The per-round blossom solve is pluggable through :data:`SOLVER_BACKENDS`
+(a :class:`~repro.experiments.registry.Registry`, so misspelled names get
+"did you mean ...?" suggestions), mirroring the dynamic-kernel
+``MATCHING_BACKENDS`` tier:
+
+``"nx"``
+    The original NetworkX path (kept as the reference): builds a
+    :class:`_DirectAccessGraph` per round and calls
+    ``nx.max_weight_matching``.
+``"array"`` (default)
+    :func:`repro.matching.blossom.max_weight_matching_arrays` — the same
+    Galil algorithm on flat int-indexed arrays, behaviour-identical to the
+    NetworkX implementation (same matchings, not merely equal weight), about
+    2x faster per round before memoisation.
+``"numba"``
+    The array kernel with its ``@njit`` batched slack scan, active only when
+    :func:`~repro.matching.numba_bmatching.numba_backend_active` says so;
+    otherwise it falls back to ``"array"`` with a one-time warning, so specs
+    pinning the numba solver stay runnable everywhere.
+
+Demand-fingerprint memoisation
+------------------------------
+Iterated solves are memoised in a small process-local LRU keyed by a stable
+hash of (canonical weights in insertion order, ``n_nodes``, effective
+backend).  The cache stores the *incremental sweep state* (solved rounds
+plus residual weights), so a request for ``b = 6`` after ``b = 9`` is a pure
+cache hit and a request for ``b = 9`` after ``b = 3`` only solves rounds
+4..9 — repetitions, benchmark arms, and ``b``-grids that aggregate the same
+trace pay for each blossom round at most once per process.  ``REPRO_SOLVER_CACHE``
+sets the entry limit (default 16; ``0`` disables memoisation).
 """
 
 from __future__ import annotations
 
-from itertools import combinations
-from typing import Dict, Iterable, Mapping, Set
+import hashlib
+import os
+import warnings
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 import networkx as nx
+import numpy as np
 
 from ..errors import SolverError
+from ..experiments.registry import Registry
 from ..types import NodePair, canonical_pair
+from .blossom import max_weight_matching_arrays
+from .numba_bmatching import NUMBA_AVAILABLE, numba_backend_active
 from .validation import check_b_matching
 
 __all__ = [
+    "SOLVER_BACKENDS",
+    "DEFAULT_SOLVER_BACKEND",
+    "resolve_solver_backend",
     "matching_weight",
     "greedy_b_matching",
     "iterated_max_weight_b_matching",
+    "solve_b_rounds",
     "exact_max_weight_b_matching",
+    "solver_cache_info",
+    "solver_cache_clear",
 ]
 
 
@@ -46,9 +97,22 @@ def _canonical_weights(weights: Mapping[NodePair, float]) -> Dict[NodePair, floa
 
 
 def matching_weight(edges: Iterable[NodePair], weights: Mapping[NodePair, float]) -> float:
-    """Total weight of an edge set under ``weights`` (missing edges weigh 0)."""
-    canon = {canonical_pair(u, v): w for (u, v), w in weights.items()}
-    return float(sum(canon.get(canonical_pair(u, v), 0.0) for u, v in edges))
+    """Total weight of an edge set under ``weights`` (missing edges weigh 0).
+
+    Only the *queried* edges are canonicalised — ``O(|edges|)`` — instead of
+    rebuilding a canonical copy of the whole weight mapping per call, which
+    made this ``O(|weights|)`` inside solver-quality checks and analysis
+    loops.  When a mapping pathologically contains both orientations of a
+    pair, the canonical ``(min, max)`` key wins.
+    """
+    total = 0.0
+    for u, v in edges:
+        a, b = canonical_pair(u, v)
+        w = weights.get((a, b))
+        if w is None:
+            w = weights.get((b, a), 0.0)
+        total += w
+    return float(total)
 
 
 def greedy_b_matching(
@@ -91,37 +155,257 @@ class _DirectAccessGraph(nx.Graph):
         return self._adj[n]
 
 
+# --------------------------------------------------------------------------- #
+# Solver backends: one maximum-weight matching round over residual weights
+# --------------------------------------------------------------------------- #
+
+#: Name -> round-solver registry.  A round solver takes the residual weight
+#: dict (canonical pairs, insertion order = tie-breaking order) and the node
+#: count, and returns one maximum-weight (1-)matching as canonical pairs.
+SOLVER_BACKENDS: Registry = Registry("solver backend")
+
+#: Backend used when nothing is specified (``MatchingConfig.solver_backend``
+#: left at ``None``).
+DEFAULT_SOLVER_BACKEND = "array"
+
+#: One-time-warning latch for the numba -> array fallback (per process).
+_NUMBA_FALLBACK_WARNED = False
+
+
+@SOLVER_BACKENDS.register("nx")
+def _solve_round_nx(remaining: Mapping[NodePair, float], n_nodes: int) -> Set[NodePair]:
+    """One blossom round via NetworkX (the original SO-BMA code path)."""
+    g = _DirectAccessGraph()
+    g.add_nodes_from(range(n_nodes))
+    for (u, v), w in remaining.items():
+        g.add_edge(u, v, weight=w)
+    matching = nx.max_weight_matching(g, maxcardinality=False, weight="weight")
+    return {canonical_pair(u, v) for u, v in matching}
+
+
+@SOLVER_BACKENDS.register("array")
+def _solve_round_array(remaining: Mapping[NodePair, float], n_nodes: int) -> Set[NodePair]:
+    """One blossom round on the flat-array kernel (behaviour-identical)."""
+    return max_weight_matching_arrays(
+        n_nodes, [(u, v, w) for (u, v), w in remaining.items()]
+    )
+
+
+@SOLVER_BACKENDS.register("numba")
+def _solve_round_numba(remaining: Mapping[NodePair, float], n_nodes: int) -> Set[NodePair]:
+    """The array kernel with the ``@njit`` batched slack scan."""
+    return max_weight_matching_arrays(
+        n_nodes, [(u, v, w) for (u, v), w in remaining.items()], compiled=True
+    )
+
+
+def resolve_solver_backend(backend: Optional[str]) -> str:
+    """Validated effective backend name for a requested solver backend.
+
+    ``None`` means :data:`DEFAULT_SOLVER_BACKEND`.  Requesting ``"numba"``
+    on a host where the compiled backend is inactive (numba missing, or
+    masked via ``REPRO_NO_NUMBA``) resolves to ``"array"`` with a one-time
+    warning — the same graceful-degradation contract as
+    :func:`repro.matching.make_matching`.  Unknown names raise
+    :class:`~repro.errors.ConfigurationError` with "did you mean ...?"
+    suggestions.
+    """
+    global _NUMBA_FALLBACK_WARNED
+    name = DEFAULT_SOLVER_BACKEND if backend is None else backend
+    SOLVER_BACKENDS.resolve(name)  # raises with suggestions on unknown names
+    name = SOLVER_BACKENDS.canonical(name)
+    if name == "numba" and not numba_backend_active():
+        if not _NUMBA_FALLBACK_WARNED:
+            _NUMBA_FALLBACK_WARNED = True
+            reason = (
+                "masked by REPRO_NO_NUMBA" if NUMBA_AVAILABLE else "numba is not installed"
+            )
+            warnings.warn(
+                f"solver backend 'numba' is unavailable ({reason}); "
+                "falling back to the pure-Python 'array' kernel",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return "array"
+    return name
+
+
+# --------------------------------------------------------------------------- #
+# Demand-fingerprint memoisation of the iterated construction
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class _SweepState:
+    """Incremental state of one iterated solve: rounds done so far.
+
+    ``cumulative[i]`` is the union of rounds ``1..i+1``; ``remaining`` is the
+    residual weight dict those rounds have not claimed.  Extending the state
+    by more rounds never changes the rounds already recorded, which is what
+    makes prefix sharing across ``b`` values exact.
+    """
+
+    remaining: Dict[NodePair, float]
+    cumulative: List[Set[NodePair]] = field(default_factory=list)
+    exhausted: bool = False
+
+
+_SOLVE_CACHE: "OrderedDict[Tuple[str, int, str], _SweepState]" = OrderedDict()
+_CACHE_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def _cache_limit() -> int:
+    """Max memo entries (``REPRO_SOLVER_CACHE``; 0 disables memoisation)."""
+    try:
+        return max(0, int(os.environ.get("REPRO_SOLVER_CACHE", "16")))
+    except ValueError:
+        return 16
+
+
+def _demand_fingerprint(canon: Mapping[NodePair, float], n_nodes: int) -> str:
+    """Stable digest of canonical weights *in insertion order* plus ``n``.
+
+    Insertion order is part of the key because it is the solver's
+    tie-breaking order: two weight dicts with equal content but different
+    order may legitimately produce different (equal-weight) matchings.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(np.int64(n_nodes).tobytes())
+    if canon:
+        keys = np.fromiter(
+            (u * n_nodes + v for u, v in canon), dtype=np.int64, count=len(canon)
+        )
+        vals = np.fromiter(canon.values(), dtype=np.float64, count=len(canon))
+        h.update(keys.tobytes())
+        h.update(vals.tobytes())
+    return h.hexdigest()
+
+
+def _validated_canonical_weights(
+    weights: Mapping[NodePair, float], n_nodes: int
+) -> Dict[NodePair, float]:
+    """Canonical weights with every pair checked against ``n_nodes``."""
+    canon = _canonical_weights(weights)
+    for u, v in canon:
+        if not (0 <= u < n_nodes and 0 <= v < n_nodes):
+            raise SolverError(f"pair {(u, v)} out of range for n={n_nodes}")
+    return canon
+
+
+def _sweep_state(
+    weights: Mapping[NodePair, float], n_nodes: int, backend: str
+) -> _SweepState:
+    """The (possibly cached) sweep state for this demand and backend."""
+    canon = _validated_canonical_weights(weights, n_nodes)
+    limit = _cache_limit()
+    if limit == 0:
+        return _SweepState(remaining=canon)
+    key = (backend, n_nodes, _demand_fingerprint(canon, n_nodes))
+    state = _SOLVE_CACHE.get(key)
+    if state is None:
+        _CACHE_STATS["misses"] += 1
+        state = _SweepState(remaining=canon)
+        _SOLVE_CACHE[key] = state
+    else:
+        _CACHE_STATS["hits"] += 1
+        _SOLVE_CACHE.move_to_end(key)
+    while len(_SOLVE_CACHE) > limit:
+        _SOLVE_CACHE.popitem(last=False)
+        _CACHE_STATS["evictions"] += 1
+    return state
+
+
+def _extend_state(state: _SweepState, b: int, backend: str, n_nodes: int) -> None:
+    """Solve further rounds until ``b`` rounds are recorded (or exhausted)."""
+    solve_round = SOLVER_BACKENDS.resolve(backend)
+    while len(state.cumulative) < b and not state.exhausted:
+        if not state.remaining:
+            state.exhausted = True
+            break
+        round_matching = solve_round(state.remaining, n_nodes)
+        if not round_matching:
+            state.exhausted = True
+            break
+        union = set(state.cumulative[-1]) if state.cumulative else set()
+        union.update(round_matching)
+        for pair in round_matching:
+            state.remaining.pop(pair, None)
+        state.cumulative.append(union)
+
+
+def _prefix_result(state: _SweepState, b: int) -> Set[NodePair]:
+    if not state.cumulative:
+        return set()
+    return set(state.cumulative[min(b, len(state.cumulative)) - 1])
+
+
+def solver_cache_info() -> Dict[str, int]:
+    """Hit/miss/eviction counters and current size of the solver memo."""
+    return {
+        **_CACHE_STATS,
+        "currsize": len(_SOLVE_CACHE),
+        "maxsize": _cache_limit(),
+    }
+
+
+def solver_cache_clear() -> None:
+    """Drop all memoised sweep states and zero the counters."""
+    _SOLVE_CACHE.clear()
+    for k in _CACHE_STATS:
+        _CACHE_STATS[k] = 0
+
+
 def iterated_max_weight_b_matching(
-    weights: Mapping[NodePair, float], n_nodes: int, b: int
+    weights: Mapping[NodePair, float],
+    n_nodes: int,
+    b: int,
+    backend: Optional[str] = None,
 ) -> Set[NodePair]:
-    """b rounds of maximum-weight (1-)matching via NetworkX blossom.
+    """b rounds of maximum-weight (1-)matching via the blossom algorithm.
 
     Round ``i`` computes a maximum-weight matching on the pairs not selected
     in earlier rounds; the union of the ``b`` rounds is returned.  With
     ``b = 1`` this is exactly the paper's SO-BMA construction.
+
+    ``backend`` selects the per-round kernel from :data:`SOLVER_BACKENDS`
+    (``None`` = :data:`DEFAULT_SOLVER_BACKEND`); all backends produce the
+    same matchings.  Results are memoised per process on a fingerprint of
+    the canonical weights, and nested prefixes share work: solving the same
+    demand at a smaller ``b`` afterwards is a pure cache hit, a larger ``b``
+    only solves the additional rounds.
     """
     if b < 1:
         raise SolverError(f"b must be >= 1, got {b}")
-    remaining = _canonical_weights(weights)
-    chosen: Set[NodePair] = set()
-    for _round in range(b):
-        if not remaining:
-            break
-        g = _DirectAccessGraph()
-        g.add_nodes_from(range(n_nodes))
-        for (u, v), w in remaining.items():
-            if u >= n_nodes or v >= n_nodes:
-                raise SolverError(f"pair {(u, v)} out of range for n={n_nodes}")
-            g.add_edge(u, v, weight=w)
-        round_matching = nx.max_weight_matching(g, maxcardinality=False, weight="weight")
-        if not round_matching:
-            break
-        for u, v in round_matching:
-            pair = canonical_pair(u, v)
-            chosen.add(pair)
-            remaining.pop(pair, None)
+    effective = resolve_solver_backend(backend)
+    state = _sweep_state(weights, n_nodes, effective)
+    _extend_state(state, b, effective, n_nodes)
+    chosen = _prefix_result(state, b)
     check_b_matching(chosen, n_nodes, b)
     return chosen
+
+
+def solve_b_rounds(
+    weights: Mapping[NodePair, float],
+    n_nodes: int,
+    b_max: int,
+    backend: Optional[str] = None,
+) -> List[Set[NodePair]]:
+    """All nested iterated b-matchings for ``b = 1..b_max`` in one pass.
+
+    ``solve_b_rounds(w, n, b_max)[k - 1] == iterated_max_weight_b_matching(w, n, k)``
+    for every ``k <= b_max``, but the whole sweep costs ``b_max`` blossom
+    rounds instead of ``1 + 2 + ... + b_max``.  Shares the same memo as
+    :func:`iterated_max_weight_b_matching`.
+    """
+    if b_max < 1:
+        raise SolverError(f"b_max must be >= 1, got {b_max}")
+    effective = resolve_solver_backend(backend)
+    state = _sweep_state(weights, n_nodes, effective)
+    _extend_state(state, b_max, effective, n_nodes)
+    results = [_prefix_result(state, k) for k in range(1, b_max + 1)]
+    for k, chosen in enumerate(results, start=1):
+        check_b_matching(chosen, n_nodes, k)
+    return results
 
 
 def exact_max_weight_b_matching(
@@ -129,32 +413,50 @@ def exact_max_weight_b_matching(
 ) -> Set[NodePair]:
     """Exhaustive maximum-weight b-matching for tiny instances.
 
-    Enumerates subsets of the positively weighted pairs, so it is exponential
-    in the number of pairs; ``max_edges`` guards against accidental use on
-    large inputs.  Intended for tests certifying the heuristics.
+    Enumerates subsets of the positively weighted pairs — exponential in the
+    number of pairs, so ``max_edges`` guards against accidental use on large
+    inputs.  Intended for tests certifying the heuristics.  Subsets are
+    enumerated in the same (size-major, lexicographic) order as the original
+    ``itertools.combinations`` formulation so equal-weight ties resolve
+    identically, but branches whose prefix already violates the degree bound
+    are cut immediately and sizes beyond ``n * b / 2`` (the most edges any
+    b-matching can hold) are skipped entirely — which keeps the certifier
+    usable at ``max_edges = 20`` instead of timing out.
     """
+    if b < 1:
+        raise SolverError(f"b must be >= 1, got {b}")
     canon = _canonical_weights(weights)
     if len(canon) > max_edges:
         raise SolverError(
             f"exact solver limited to {max_edges} weighted pairs, got {len(canon)}"
         )
     pairs = sorted(canon)
+    m = len(pairs)
+    degrees = [0] * n_nodes
     best: Set[NodePair] = set()
     best_weight = 0.0
-    for r in range(len(pairs) + 1):
-        for subset in combinations(pairs, r):
-            degrees = [0] * n_nodes
-            feasible = True
-            for u, v in subset:
-                degrees[u] += 1
-                degrees[v] += 1
-                if degrees[u] > b or degrees[v] > b:
-                    feasible = False
-                    break
-            if not feasible:
-                continue
-            total = sum(canon[p] for p in subset)
+    chosen: List[NodePair] = []
+
+    def extend(start: int, size: int, total: float) -> None:
+        nonlocal best, best_weight
+        if size == 0:
             if total > best_weight:
                 best_weight = total
-                best = set(subset)
+                best = set(chosen)
+            return
+        # Not enough pairs left to reach the requested size.
+        for i in range(start, m - size + 1):
+            u, v = pairs[i]
+            if degrees[u] >= b or degrees[v] >= b:
+                continue  # every extension of this prefix is infeasible too
+            degrees[u] += 1
+            degrees[v] += 1
+            chosen.append((u, v))
+            extend(i + 1, size - 1, total + canon[(u, v)])
+            chosen.pop()
+            degrees[u] -= 1
+            degrees[v] -= 1
+
+    for r in range(min(m, n_nodes * b // 2) + 1):
+        extend(0, r, 0.0)
     return best

@@ -314,6 +314,12 @@ def run_simulation(
         "matching_backend": config.matching_backend,
         "matching_kernel": algorithm.matching.backend_name,
     }
+    # Static-solver provenance (SO-BMA): the solver backend the config asked
+    # for and the blossom kernel that actually ran — same requested/effective
+    # contract as the matching keys above, populated by the algorithm's fit.
+    solver_provenance = getattr(algorithm, "solver_provenance", None)
+    if solver_provenance:
+        extra.update(solver_provenance)
     if config.collect_matching_history:
         extra["matching_history"] = matching_history
 

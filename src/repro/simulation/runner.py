@@ -257,6 +257,15 @@ class ExperimentRunner:
         the setup behind each panel of the paper's figures.  Returns a dict
         keyed by ``"<algorithm> (b: <b>)"``.
 
+        SO-BMA specs benefit twice from the static-solver memo in
+        :mod:`repro.matching.static_solver`: within a repetition, several
+        ``so-bma`` entries differing only in ``b`` aggregate the same shared
+        trace, so their iterated blossom solves share nested round prefixes
+        (only ``max(b)`` rounds are solved in total), and identical
+        (trace, backend) solves across panels or timing rounds in the same
+        process are pure cache hits.  Pool workers hold their own per-process
+        memo, so sharded runs stay bit-identical to sequential ones.
+
         With ``n_workers > 1`` the (repetition × spec) grid is sharded over
         a process pool.  Workers rebuild the repetition's trace
         deterministically from their spec (the trace seed is spawned from

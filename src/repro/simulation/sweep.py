@@ -82,6 +82,7 @@ def run_sweep(
     checkpoints: int = 10,
     n_workers: int = 1,
     observers: Iterable[SimulationObserver] = (),
+    solver_backend: Optional[str] = None,
 ) -> List[AggregateResult]:
     """Run every (algorithm, b, alpha) combination of ``sweep`` on one workload.
 
@@ -102,12 +103,20 @@ def run_sweep(
         pool of that size.
     observers:
         Attached to in-process runs (``n_workers <= 1``).
+    solver_backend:
+        Static blossom kernel for SO-BMA configurations (``None`` = library
+        default).  When the grid sweeps several ``b`` values for ``so-bma``
+        on a shared workload, in-process runs share nested solver prefixes:
+        the demand-fingerprint memo in
+        :mod:`repro.matching.static_solver` solves ``max(b_values)`` blossom
+        rounds once instead of re-solving every prefix per ``b``.
     """
     if repetitions < 1:
         raise ConfigurationError(f"repetitions must be >= 1, got {repetitions}")
     base = ExperimentSpec(
         algorithm={"name": sweep.algorithms[0], "b": int(sweep.b_values[0]),
-                   "alpha": float(sweep.alpha_values[0])},
+                   "alpha": float(sweep.alpha_values[0]),
+                   "solver_backend": solver_backend},
         traffic={"name": workload, "params": dict(workload_kwargs or {})},
         topology={"name": topology, "params": dict(topology_kwargs or {})},
         simulation={"checkpoints": checkpoints},

@@ -1,5 +1,7 @@
 """Tests for the static maximum-weight b-matching solvers."""
 
+import time
+
 import numpy as np
 import pytest
 
@@ -84,6 +86,36 @@ class TestIteratedBlossom:
         assert iterated_max_weight_b_matching({}, 4, b=2) == set()
 
 
+def _brute_force_exact(weights, n_nodes, b):
+    """The original unpruned formulation, kept here as the test oracle."""
+    from itertools import combinations
+
+    canon = {}
+    for (u, v), w in weights.items():
+        if w > 0:
+            pair = (min(u, v), max(u, v))
+            canon[pair] = canon.get(pair, 0.0) + float(w)
+    pairs = sorted(canon)
+    best, best_weight = set(), 0.0
+    for r in range(len(pairs) + 1):
+        for subset in combinations(pairs, r):
+            degrees = [0] * n_nodes
+            feasible = True
+            for u, v in subset:
+                degrees[u] += 1
+                degrees[v] += 1
+                if degrees[u] > b or degrees[v] > b:
+                    feasible = False
+                    break
+            if not feasible:
+                continue
+            total = sum(canon[p] for p in subset)
+            if total > best_weight:
+                best_weight = total
+                best = set(subset)
+    return best
+
+
 class TestExact:
     def test_beats_or_matches_heuristics(self):
         for seed in range(4):
@@ -105,6 +137,37 @@ class TestExact:
         with pytest.raises(SolverError):
             exact_max_weight_b_matching(weights, 10, b=1, max_edges=10)
 
+    def test_rejects_bad_b(self):
+        with pytest.raises(SolverError):
+            exact_max_weight_b_matching({(0, 1): 1.0}, 2, b=0)
+
+    def test_pruned_enumeration_matches_brute_force(self):
+        """The degree-prefix cutoffs must not change the chosen set.
+
+        Ties between equal-weight optima resolve by enumeration order, so
+        this compares *sets*, not just weights, against the original
+        unpruned formulation.
+        """
+        for seed in range(8):
+            n = 6
+            weights = _random_weights(n, 10, seed)
+            for b in (1, 2, 3):
+                assert exact_max_weight_b_matching(weights, n, b) == \
+                    _brute_force_exact(weights, n, b)
+
+    def test_star_instance_at_the_size_guard_is_fast(self):
+        """20 pairs sharing a hub: the prefix cutoff keeps this instant.
+
+        The unpruned enumeration walks all 2^20 subsets here; the pruned one
+        stops every branch at the hub's degree bound.
+        """
+        weights = {(0, i): float(i) for i in range(1, 21)}
+        started = time.perf_counter()
+        chosen = exact_max_weight_b_matching(weights, 21, b=2, max_edges=20)
+        elapsed = time.perf_counter() - started
+        assert chosen == {(0, 19), (0, 20)}
+        assert elapsed < 2.0, f"pruned exact solver took {elapsed:.1f}s"
+
 
 class TestMatchingWeight:
     def test_sums_selected_weights(self):
@@ -114,3 +177,20 @@ class TestMatchingWeight:
 
     def test_missing_edges_weigh_zero(self):
         assert matching_weight({(4, 5)}, {(0, 1): 2.0}) == 0.0
+
+    def test_non_canonical_query_edges(self):
+        weights = {(0, 1): 2.0, (2, 3): 3.5}
+        assert matching_weight({(1, 0), (3, 2)}, weights) == 5.5
+
+    def test_non_canonical_weight_keys(self):
+        # Weight mappings with reversed keys still resolve per queried edge.
+        assert matching_weight({(0, 1)}, {(1, 0): 2.0}) == 2.0
+
+    def test_does_not_scan_the_whole_weight_mapping(self):
+        """O(|edges|), not O(|weights|): a huge mapping must not slow a tiny query."""
+        weights = {(i, j): 1.0 for i in range(300) for j in range(i + 1, 300)}
+        started = time.perf_counter()
+        for _ in range(2000):
+            matching_weight([(0, 1)], weights)
+        elapsed = time.perf_counter() - started
+        assert elapsed < 1.0, f"2000 single-edge queries took {elapsed:.2f}s"
