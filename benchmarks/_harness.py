@@ -26,6 +26,7 @@ from repro.analysis import format_comparison_table, format_series_table
 from repro.experiments import ExperimentSpec
 from repro.simulation import AggregateResult, ExperimentRunner
 from repro.simulation.parallel import default_worker_count
+from repro.store import default_store, store_counters
 
 __all__ = [
     "bench_scale",
@@ -96,6 +97,25 @@ def bench_workers() -> int:
 def scaled_requests(full_count: int) -> int:
     """Scale a paper request count, keeping at least a usable minimum."""
     return max(2_000, int(full_count * bench_scale()))
+
+
+def _store_provenance() -> Dict[str, object]:
+    """Run-store provenance recorded into every ``BENCH_*.json`` payload.
+
+    ``store_active`` says whether a default store was configured while the
+    benchmark process ran; ``store_hits``/``store_misses``/``store_writes``
+    are the process-wide tallies, so a reader can tell how much of the
+    surrounding pipeline (figure panels, preflight) was served from cache.
+    The timing arms themselves always run with ``store=False``, so hits
+    never contaminate the recorded wall-clock numbers.
+    """
+    counters = store_counters()
+    return {
+        "store_active": default_store() is not None,
+        "store_hits": counters["hits"],
+        "store_misses": counters["misses"],
+        "store_writes": counters["writes"],
+    }
 
 
 _PREFLIGHT_RAN = False
@@ -190,6 +210,12 @@ def run_figure_panel(figure: str) -> Dict[str, AggregateResult]:
     (algorithm × b × repetition) grid is sharded over
     :func:`bench_workers` processes; results are bit-identical to a
     sequential run, so the cache key stays the figure alone.
+
+    With ``REPRO_RUN_STORE`` set, panels are *incremental*: every (spec,
+    seed) cell already in the store is served from disk (bit-identical to a
+    cold run) and only new or changed cells simulate — regenerating all
+    figures after touching one algorithm recomputes just that algorithm's
+    cells.  The timing benchmarks below are exempt: they force cold runs.
     """
     preflight()
     runner = ExperimentRunner(repetitions=bench_repetitions(), base_seed=2023)
@@ -250,7 +276,11 @@ def kernel_benchmark(
             arms.insert(2, ("numba", "numba", 1))
         for _round in range(max(1, rounds)):
             for arm, backend, arm_workers in arms:
-                runner = ExperimentRunner(repetitions=bench_repetitions(), base_seed=2023)
+                # store=False: timing arms must measure computation, never
+                # warm-store reads — an env-configured store would otherwise
+                # poison the A/B comparison after the first round.
+                runner = ExperimentRunner(repetitions=bench_repetitions(),
+                                          base_seed=2023, store=False)
                 specs = figure_specs(figure, matching_backend=backend)
                 started = time.perf_counter()
                 results = runner.compare_on_shared_trace(specs, n_workers=arm_workers)
@@ -297,6 +327,7 @@ def kernel_benchmark(
         "repetitions": bench_repetitions(),
         "workers": workers,
         "numba_active": numba_active,
+        "store": _store_provenance(),
         "figures": report,
     }
     path = KERNEL_BENCH_PATH if output_path is None else Path(output_path)
@@ -460,6 +491,7 @@ def solver_benchmark(
         "scale": bench_scale(),
         "rounds": rounds,
         "numba_solver_active": numba_backend_active(),
+        "store": _store_provenance(),
         "figures": report,
     }
     path = SOLVER_BENCH_PATH if output_path is None else Path(output_path)

@@ -96,6 +96,13 @@ from .simulation import (
     run_simulation,
     run_sweep,
 )
+from .store import (
+    RunStore,
+    StoreConfig,
+    default_store,
+    fingerprint_spec,
+    resolve_store,
+)
 
 __all__ = [
     "__version__",
@@ -152,4 +159,10 @@ __all__ = [
     "RunResult",
     "AggregateResult",
     "ExperimentRunner",
+    # persistent run store
+    "RunStore",
+    "StoreConfig",
+    "fingerprint_spec",
+    "default_store",
+    "resolve_store",
 ]

@@ -9,12 +9,19 @@ Lets users drive the common workflows without writing Python::
     python -m repro generate-trace --workload facebook-hadoop --requests 50000 --out trace.csv
     python -m repro analyze-trace trace.csv
     python -m repro list
+    python -m repro runs list --store results/.repro-store
 
 Every simulation path is driven by a declarative
 :class:`~repro.experiments.specs.ExperimentSpec`; ``run`` executes one
 straight from a JSON file.  All subcommands print plain-text tables (the same
 renderers the benchmark harness uses) and exit non-zero on configuration
 errors.  Invoked without a subcommand, the CLI prints usage and exits 0.
+
+The simulation commands take ``--store [DIR]`` / ``--no-store`` to control
+the persistent run store (:mod:`repro.store`): with a store, re-running an
+unchanged command serves every (spec, seed) cell from disk instead of
+simulating.  ``repro runs list|show|stats|gc`` inspects and maintains a
+store.
 """
 
 from __future__ import annotations
@@ -38,6 +45,12 @@ from .simulation import (
     execute_experiment_spec,
     run_specs_parallel,
     run_sweep,
+)
+from .store import (
+    group_statistics,
+    resolve_store,
+    spec_statistics,
+    store_statistics,
 )
 from .topology import available_topologies
 from .traffic import (
@@ -74,6 +87,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--solver-backend", default=None,
                        help="static blossom kernel for SO-BMA: array (default), "
                             "nx, or numba")
+        add_store_flags(p)
+
+    def add_store_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--store", nargs="?", const=".repro-store", default=None,
+                       metavar="DIR",
+                       help="run-store directory: serve unchanged (spec, seed) runs "
+                            "from disk and write new ones back (bare --store uses "
+                            "./.repro-store; default: the REPRO_RUN_STORE "
+                            "environment variable)")
+        p.add_argument("--no-store", action="store_true",
+                       help="force cold runs even if REPRO_RUN_STORE is set")
 
     p_run = sub.add_parser("run", help="execute an experiment described by a JSON spec file")
     p_run.add_argument("spec", help="path to an ExperimentSpec JSON file")
@@ -86,6 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print per-checkpoint progress (observer-based)")
     p_run.add_argument("--out", default=None,
                        help="write the spec, per-run results, and aggregate as JSON")
+    add_store_flags(p_run)
 
     p_sim = sub.add_parser("simulate", help="run one algorithm on one workload")
     add_common(p_sim)
@@ -122,6 +147,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available algorithms, workloads, topologies, "
                                 "and paging policies")
+
+    p_runs = sub.add_parser("runs", help="inspect and maintain the persistent run store")
+    p_runs.add_argument("--store", default=None, metavar="DIR",
+                        help="run-store directory (default: the REPRO_RUN_STORE "
+                             "environment variable)")
+    runs_sub = p_runs.add_subparsers(dest="runs_command")
+    r_list = runs_sub.add_parser("list", help="list stored runs, newest first")
+    r_list.add_argument("--limit", type=int, default=20,
+                        help="show at most this many entries (0 = all)")
+    r_show = runs_sub.add_parser("show", help="show one stored run by fingerprint prefix")
+    r_show.add_argument("fingerprint", help="full fingerprint or unique prefix")
+    r_stats = runs_sub.add_parser(
+        "stats", help="cross-run statistics: recomputation history and regression flags")
+    r_stats.add_argument("--group", action="store_true",
+                         help="group entries differing only in seed (cross-seed "
+                              "error bars) instead of per-fingerprint history")
+    r_gc = runs_sub.add_parser("gc", help="expire stored runs by age and/or count")
+    r_gc.add_argument("--max-entries", type=int, default=None,
+                      help="keep only the newest N entries")
+    r_gc.add_argument("--max-age-days", type=float, default=None,
+                      help="delete entries last written more than this many days ago")
+    r_gc.add_argument("--dry-run", action="store_true",
+                      help="report what would be deleted without touching disk")
     return parser
 
 
@@ -139,8 +187,20 @@ def _build_specs(args: argparse.Namespace, algorithms: Sequence[str]):
     ]
 
 
+def _store_arg(args: argparse.Namespace):
+    """The ``store=`` policy encoded by ``--store``/``--no-store``.
+
+    ``--no-store`` wins (``False`` forces cold runs); an explicit ``--store
+    DIR`` names the store; otherwise ``None`` defers to ``REPRO_RUN_STORE``.
+    """
+    if getattr(args, "no_store", False):
+        return False
+    return args.store
+
+
 def _run_specs(args: argparse.Namespace, algorithms: Sequence[str]):
-    runner = ExperimentRunner(repetitions=args.repetitions, base_seed=args.seed)
+    runner = ExperimentRunner(repetitions=args.repetitions, base_seed=args.seed,
+                              store=_store_arg(args))
     return runner.compare_on_shared_trace(_build_specs(args, algorithms))
 
 
@@ -175,13 +235,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
         spec = spec.with_seed(args.seed, repeats=spec.repeats)
     observers = (ProgressObserver(),) if args.progress else ()
     singles = [spec.with_seed(seed) for seed in spec.repetition_seeds()]
+    # Resolve the store once so the hit/miss summary reads one instance's
+    # counters; None (resolved from a disabled/absent env default) must stay
+    # disabled downstream, hence the False fallback.
+    run_store = resolve_store(_store_arg(args))
+    store_policy = run_store if run_store is not None else False
     if args.workers > 1:
         if args.progress:
             print("note: --progress is unavailable with --workers > 1 "
                   "(observers do not cross process boundaries)", file=sys.stderr)
-        runs = run_specs_parallel(singles, n_workers=args.workers)
+        runs = run_specs_parallel(singles, n_workers=args.workers, store=store_policy)
     else:
-        runs = [execute_experiment_spec(s, observers=observers) for s in singles]
+        runs = [execute_experiment_spec(s, observers=observers, store=store_policy)
+                for s in singles]
+    if run_store is not None:
+        counters = run_store.counters
+        print(f"store: {counters.hits} hit(s), {counters.misses} miss(es) "
+              f"at {run_store.root}")
     agg = aggregate_runs(runs)
     results = {spec.label: agg}
     print(format_series_table(results, metric="routing_cost", title=f"{spec.label}"))
@@ -240,6 +310,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         checkpoints=args.checkpoints,
         n_workers=args.workers,
         solver_backend=args.solver_backend,
+        store=_store_arg(args),
     )
     # Label collisions would silently drop rows: disambiguate by alpha when
     # more than one alpha value is swept.
@@ -271,6 +342,127 @@ def _cmd_analyze_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _require_store(args: argparse.Namespace):
+    run_store = resolve_store(args.store)
+    if run_store is None:
+        raise ConfigurationError(
+            "no run store configured (pass --store DIR or set REPRO_RUN_STORE)"
+        )
+    return run_store
+
+
+def _cmd_runs_list(args: argparse.Namespace) -> int:
+    store = _require_store(args)
+    entries = store.list_runs()
+    print(f"{len(entries)} stored run(s) at {store.root}")
+    shown = entries if args.limit <= 0 else entries[: args.limit]
+    if shown:
+        print(f"{'fingerprint':<14} {'algorithm':<12} {'workload':<20} "
+              f"{'b':>3} {'seed':>6} {'runs':>4} {'total cost':>14} written")
+    for e in shown:
+        seed = "-" if e.seed is None else e.seed
+        print(f"{e.fingerprint[:12]:<14} {e.algorithm:<12} {e.workload:<20} "
+              f"{e.b:>3} {seed:>6} {e.runs:>4} {e.total_cost:>14,.0f} {e.written_at}")
+    if len(entries) > len(shown):
+        print(f"... {len(entries) - len(shown)} more (raise --limit)")
+    return 0
+
+
+def _cmd_runs_show(args: argparse.Namespace) -> int:
+    store = _require_store(args)
+    matches = store.find(args.fingerprint)
+    if not matches:
+        raise ConfigurationError(
+            f"no stored run matches fingerprint prefix {args.fingerprint!r}"
+        )
+    if len(matches) > 1:
+        listing = ", ".join(m.fingerprint[:12] for m in matches)
+        raise ConfigurationError(
+            f"fingerprint prefix {args.fingerprint!r} is ambiguous "
+            f"({len(matches)} matches: {listing})"
+        )
+    payload = store.get_payload(matches[0].fingerprint)
+    assert payload is not None  # the index row came from this entry file
+    result = payload["result"]
+    print(f"fingerprint:    {payload['fingerprint']}")
+    print(f"written at:     {payload['written_at']} "
+          f"(updated {payload['updated_at']}, repro {payload['repro_version']})")
+    print(f"algorithm:      {result['algorithm']} (b: {result['b']}, "
+          f"alpha: {result['alpha']:g})")
+    print(f"workload:       {result['workload']} on {result['topology']} "
+          f"({result['n_requests']:,} requests, seed {result.get('seed')})")
+    total = float(result["total_routing_cost"]) + float(result["total_reconfiguration_cost"])
+    print(f"total cost:     {total:,.0f} "
+          f"(routing {float(result['total_routing_cost']):,.0f}, "
+          f"reconfiguration {float(result['total_reconfiguration_cost']):,.0f})")
+    print(f"wall time [s]:  {float(result['total_elapsed_seconds']):.3f}")
+    history = payload.get("history") or []
+    print(f"recomputations: {len(history)}")
+    for row in history:
+        print(f"  {row['written_at']}  wall {row['wall_seconds']:.3f}s  "
+              f"cost {row['total_cost']:,.0f}")
+    print("spec:")
+    print(json.dumps(payload["spec"], indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_runs_stats(args: argparse.Namespace) -> int:
+    store = _require_store(args)
+    if args.group:
+        groups = group_statistics(store)
+        print(f"{len(groups)} configuration group(s) at {store.root}")
+        for g in groups:
+            print(f"{g.algorithm} on {g.workload} (b: {g.b}, alpha: {g.alpha:g}, "
+                  f"{g.n_requests:,} requests) over {g.cost.n} seed(s):")
+            print(f"  cost    mean {g.cost.mean:,.0f}  std {g.cost.std:,.0f}  "
+                  f"CI [{g.cost.ci_low:,.0f}, {g.cost.ci_high:,.0f}]")
+            print(f"  runtime mean {g.runtime.mean:.3f}s  std {g.runtime.std:.3f}s")
+        return 0
+    histories = store_statistics(store)
+    print(f"{len(histories)} stored run(s) at {store.root}")
+    for h in histories:
+        flags = []
+        if h.cost_regression:
+            flags.append("COST DRIFT")
+        if h.runtime_regression:
+            flags.append("RUNTIME REGRESSION")
+        suffix = f"  [{', '.join(flags)}]" if flags else ""
+        print(f"{h.fingerprint[:12]}  {h.algorithm} on {h.workload} (b: {h.b}, "
+              f"seed {h.seed}): {h.n_runs} recomputation(s){suffix}")
+        print(f"  runtime mean {h.runtime.mean:.3f}s  "
+              f"CI [{h.runtime.ci_low:.3f}, {h.runtime.ci_high:.3f}]  "
+              f"latest {h.latest_wall_seconds:.3f}s")
+        print(f"  cost    {h.latest_total_cost:,.0f}")
+    return 0
+
+
+def _cmd_runs_gc(args: argparse.Namespace) -> int:
+    store = _require_store(args)
+    deleted = store.gc(max_entries=args.max_entries, max_age_days=args.max_age_days,
+                       dry_run=args.dry_run)
+    verb = "would delete" if args.dry_run else "deleted"
+    print(f"{verb} {len(deleted)} entr{'y' if len(deleted) == 1 else 'ies'} "
+          f"at {store.root}")
+    for fingerprint in deleted:
+        print(f"  {fingerprint}")
+    return 0
+
+
+_RUNS_COMMANDS = {
+    "list": _cmd_runs_list,
+    "show": _cmd_runs_show,
+    "stats": _cmd_runs_stats,
+    "gc": _cmd_runs_gc,
+}
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    if args.runs_command is None:
+        print("usage: repro runs [--store DIR] {list,show,stats,gc}")
+        return 0
+    return _RUNS_COMMANDS[args.runs_command](args)
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("algorithms:      " + ", ".join(available_algorithms()))
     print("workloads:       " + ", ".join(available_workloads()))
@@ -287,6 +479,7 @@ _COMMANDS = {
     "generate-trace": _cmd_generate_trace,
     "analyze-trace": _cmd_analyze_trace,
     "list": _cmd_list,
+    "runs": _cmd_runs,
 }
 
 

@@ -31,6 +31,7 @@ _LAZY = {
     "ExperimentSpec": "specs",
     "TopologySpec": "specs",
     "TrafficSpec": "specs",
+    "canonical_data": "specs",
     "expand_grid": "specs",
     "spawn_seeds": "specs",
     # observers

@@ -39,6 +39,7 @@ __all__ = [
     "TrafficSpec",
     "AlgorithmSpec",
     "ExperimentSpec",
+    "canonical_data",
     "expand_grid",
     "spawn_seeds",
 ]
@@ -89,6 +90,57 @@ def spawn_seeds(base_seed: int, n: int) -> List[int]:
         raise ConfigurationError(f"cannot spawn {n} seeds; need n >= 1")
     root = np.random.SeedSequence(base_seed)
     return [int(child.generate_state(1)[0]) for child in root.spawn(n)]
+
+
+def canonical_data(value: Any, _path: str = "spec") -> Any:
+    """Reduce plain spec data to a canonical JSON-stable form.
+
+    Two spec dicts that describe the same experiment must canonicalise to
+    the same value, regardless of how they were produced:
+
+    * mappings become dicts with **sorted** string keys (insertion order is
+      an accident of construction, not part of the experiment);
+    * tuples become lists (JSON has only arrays);
+    * **integral floats become ints** (JSON round-trips may deliver ``10``
+      as ``10.0``; ``alpha=15`` and ``alpha=15.0`` are the same experiment);
+    * numpy scalars become their Python equivalents (a stray
+      ``np.float64`` must not change the serialised text);
+    * non-finite floats and non-JSON types are rejected eagerly with the
+      offending path, instead of failing later inside ``json.dumps`` or —
+      worse — fingerprinting as ``NaN != NaN``.
+
+    This is the normal form behind :meth:`ExperimentSpec.canonical_dict`
+    and the run-store fingerprint (:func:`repro.store.fingerprint_spec`).
+    """
+    if isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        if not np.isfinite(value):
+            raise ConfigurationError(
+                f"non-finite value {value!r} at {_path} cannot be canonicalised"
+            )
+        if value.is_integer():
+            return int(value)
+        return value
+    if isinstance(value, Mapping):
+        for key in value:
+            if not isinstance(key, str):
+                raise ConfigurationError(
+                    f"non-string key {key!r} at {_path} cannot be canonicalised"
+                )
+        return {
+            key: canonical_data(value[key], f"{_path}.{key}") for key in sorted(value)
+        }
+    if isinstance(value, (list, tuple)):
+        return [
+            canonical_data(item, f"{_path}[{i}]") for i, item in enumerate(value)
+        ]
+    raise ConfigurationError(
+        f"value of type {type(value).__name__} at {_path} is not JSON-stable "
+        "(use plain ints, floats, strings, lists, and dicts in spec params)"
+    )
 
 
 def _check_keys(data: Mapping[str, Any], allowed: frozenset, what: str) -> None:
@@ -419,6 +471,19 @@ class ExperimentSpec:
             "repeats": self.repeats,
             "seed": self.seed,
         }
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """The spec as canonical plain data (see :func:`canonical_data`).
+
+        Unlike :meth:`to_dict` — which preserves construction order and
+        float-ness for readable JSON files — the canonical form is a pure
+        function of the experiment itself: keys are sorted at every level,
+        integral floats are ints, and numpy scalars are unwrapped.  Two
+        specs describing the same experiment (however their dicts were
+        keyed or their numbers typed) canonicalise identically, which is
+        what the run-store fingerprint hashes.
+        """
+        return canonical_data(self.to_dict())
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any], validate: bool = True) -> "ExperimentSpec":

@@ -33,6 +33,12 @@ Sharding model
   consecutive specs at a time so those caches actually hit when many small
   specs are submitted (figure panels enumerate all algorithms of one
   repetition consecutively, sharing one trace).
+* **The parent owns the run store.**  With a store active, fingerprints
+  are looked up in the parent before dispatch (hits never reach the pool)
+  and miss results are written back by the parent after they return —
+  workers compute and return, they never touch store files, so the
+  spawn-safe "specs travel, objects don't" contract is untouched and no
+  cross-process write coordination is needed.
 """
 
 from __future__ import annotations
@@ -42,11 +48,14 @@ import multiprocessing as mp
 import os
 import pickle
 from collections import OrderedDict
+from dataclasses import replace
 from typing import Any, List, Optional, Sequence
 
 from ..errors import SimulationError, WorkerExecutionError
+from ..store.fingerprint import fingerprint_spec
+from ..store.run_store import resolve_store
 from .results import RunResult
-from .runner import AnySpec, as_experiment_spec, execute_experiment_spec
+from .runner import AnySpec, _store_eligible, as_experiment_spec, execute_experiment_spec
 
 __all__ = ["run_specs_parallel", "default_worker_count", "default_chunksize"]
 
@@ -161,10 +170,28 @@ def _check_picklable(specs: Sequence[AnySpec]) -> None:
             )
 
 
+def _execute_batch(
+    specs: Sequence[AnySpec], workers: int, chunksize: Optional[int]
+) -> List[RunResult]:
+    """Run ``specs`` in-process or across a pool, preserving input order."""
+    if workers == 1 or len(specs) == 1:
+        # In-process fallback goes through the same _worker wrapper as the
+        # pool so failures carry identical spec context (and consecutive
+        # specs sharing a workload hit the same trace cache).
+        return [_worker(spec) for spec in specs]
+    _check_picklable(specs)
+    if chunksize is None:
+        chunksize = default_chunksize(len(specs), workers)
+    ctx = mp.get_context("spawn") if os.name == "nt" else mp.get_context()
+    with ctx.Pool(processes=workers, initializer=_init_worker) as pool:
+        return list(pool.map(_worker, list(specs), chunksize=chunksize))
+
+
 def run_specs_parallel(
     specs: Sequence[AnySpec],
     n_workers: Optional[int] = None,
     chunksize: Optional[int] = None,
+    store=None,
 ) -> List[RunResult]:
     """Execute run specs across a process pool, preserving input order.
 
@@ -181,20 +208,44 @@ def run_specs_parallel(
         Number of specs handed to a worker at a time; defaults to
         :func:`default_chunksize`, which keeps per-worker caches warm when
         many small specs are submitted.
+    store:
+        Run-store policy (see :func:`repro.store.resolve_store`; ``None``
+        defers to ``REPRO_RUN_STORE``, ``False`` forces cold runs).  With a
+        store, every eligible spec (seeded, no matching-history collection)
+        is looked up in the *parent* before dispatch: hits are served from
+        disk without touching the pool — a fully warm grid performs zero
+        simulation work and never even spins the pool up — and only misses
+        are executed.  The parent writes miss results back after they
+        return; workers never see the store, so sharded runs stay
+        bit-identical to sequential ones.
     """
     if not specs:
         return []
     if n_workers is not None and n_workers < 1:
         raise SimulationError(f"n_workers must be >= 1, got {n_workers}")
     workers = n_workers or default_worker_count()
-    if workers == 1 or len(specs) == 1:
-        # In-process fallback goes through the same _worker wrapper as the
-        # pool so failures carry identical spec context (and consecutive
-        # specs sharing a workload hit the same trace cache).
-        return [_worker(spec) for spec in specs]
-    _check_picklable(specs)
-    if chunksize is None:
-        chunksize = default_chunksize(len(specs), workers)
-    ctx = mp.get_context("spawn") if os.name == "nt" else mp.get_context()
-    with ctx.Pool(processes=workers, initializer=_init_worker) as pool:
-        return list(pool.map(_worker, list(specs), chunksize=chunksize))
+    run_store = resolve_store(store)
+    if run_store is None:
+        return _execute_batch(specs, workers, chunksize)
+
+    experiments = [as_experiment_spec(spec) for spec in specs]
+    results: List[Optional[RunResult]] = [None] * len(specs)
+    fingerprints: List[Optional[str]] = [None] * len(specs)
+    pending: List[int] = []
+    for i, experiment in enumerate(experiments):
+        if _store_eligible(experiment, run_store):
+            fingerprints[i] = fingerprint_spec(experiment)
+            cached = run_store.get(fingerprints[i])
+            if cached is not None:
+                results[i] = replace(cached, spec=experiment.to_dict())
+                continue
+        pending.append(i)
+    if pending:
+        # Dispatch the original spec objects (not the normalised copies) so
+        # legacy RunSpec inputs keep their established pickle/error paths.
+        computed = _execute_batch([specs[i] for i in pending], workers, chunksize)
+        for i, result in zip(pending, computed):
+            if fingerprints[i] is not None:
+                run_store.put(result, fingerprint=fingerprints[i])
+            results[i] = result
+    return results  # type: ignore[return-value]  # every slot is filled above

@@ -24,6 +24,29 @@ __all__ = ["CheckpointSeries", "RunResult", "AggregateResult", "aggregate_runs"]
 PathLike = Union[str, Path]
 
 
+def _json_safe(value: Any) -> Any:
+    """Coerce result metadata to plain JSON-serialisable Python values.
+
+    ``RunResult.extra`` is an open dict that algorithms and the engine
+    populate; a stray ``np.float64`` total or an ``np.ndarray`` diagnostic
+    would serialise differently across code paths (or not at all) and break
+    both ``save_json`` and the run store's bit-identity contract, so
+    ``to_dict`` funnels the whole dict through this normaliser.  Sets are
+    emitted in sorted order so the serialised form is deterministic.
+    """
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(key): _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_json_safe(item) for item in value)
+    return value
+
+
 @dataclass(frozen=True)
 class CheckpointSeries:
     """Values recorded at evenly spaced request counts.
@@ -131,7 +154,7 @@ class RunResult:
             "total_reconfiguration_cost": self.total_reconfiguration_cost,
             "total_elapsed_seconds": self.total_elapsed_seconds,
             "matched_fraction": self.matched_fraction,
-            "extra": self.extra,
+            "extra": _json_safe(self.extra),
             "spec": self.spec,
         }
 
@@ -205,6 +228,34 @@ class AggregateResult:
             "elapsed_seconds_std": self.elapsed_seconds_std,
             "matched_fraction_mean": self.matched_fraction_mean,
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AggregateResult":
+        """Inverse of :meth:`to_dict` (round-trip symmetric, like :class:`RunResult`)."""
+        return cls(
+            algorithm=data["algorithm"],
+            workload=data["workload"],
+            topology=data["topology"],
+            b=int(data["b"]),
+            alpha=float(data["alpha"]),
+            n_requests=int(data["n_requests"]),
+            repetitions=int(data["repetitions"]),
+            series=CheckpointSeries.from_dict(data["series"]),
+            routing_cost_mean=float(data["routing_cost_mean"]),
+            routing_cost_std=float(data["routing_cost_std"]),
+            elapsed_seconds_mean=float(data["elapsed_seconds_mean"]),
+            elapsed_seconds_std=float(data["elapsed_seconds_std"]),
+            matched_fraction_mean=float(data["matched_fraction_mean"]),
+        )
+
+    def save_json(self, path: PathLike) -> None:
+        """Write the aggregate as a JSON file."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load_json(cls, path: PathLike) -> "AggregateResult":
+        """Load an aggregate written by :meth:`save_json`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
 
 
 def aggregate_runs(runs: Sequence[RunResult]) -> AggregateResult:

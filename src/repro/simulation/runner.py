@@ -28,6 +28,8 @@ from ..experiments.specs import (
     TrafficSpec,
     spawn_seeds,
 )
+from ..store.fingerprint import fingerprint_spec
+from ..store.run_store import RunStore, resolve_store
 from ..traffic.base import Trace
 from .engine import run_simulation
 from .results import AggregateResult, RunResult, aggregate_runs
@@ -116,11 +118,26 @@ def as_experiment_spec(spec: AnySpec) -> ExperimentSpec:
     )
 
 
+def _store_eligible(spec: ExperimentSpec, store: Optional[RunStore]) -> bool:
+    """Whether a run of ``spec`` may interact with ``store`` at all.
+
+    Unseeded specs draw fresh entropy (nothing stable to address), and
+    matching-history collection embeds per-request state the store's JSON
+    contract does not cover.
+    """
+    return (
+        store is not None
+        and spec.seed is not None
+        and not spec.simulation.collect_matching_history
+    )
+
+
 def execute_experiment_spec(
     spec: ExperimentSpec,
     trace: Optional[Trace] = None,
     observers: Iterable[SimulationObserver] = (),
     validate: bool = False,
+    store=None,
 ) -> RunResult:
     """Execute one repetition of ``spec`` and return its :class:`RunResult`.
 
@@ -140,8 +157,32 @@ def execute_experiment_spec(
         workload is generated from the spec.
     observers, validate:
         Forwarded to :func:`~repro.simulation.engine.run_simulation`.
+    store:
+        Run-store policy (see :func:`repro.store.resolve_store`): ``None``
+        defers to the ``REPRO_RUN_STORE`` environment default, ``False``
+        forces a cold run, a path/:class:`~repro.store.StoreConfig`/
+        :class:`~repro.store.RunStore` selects a store explicitly.  With a
+        store active and no explicit ``trace``, the store is checked before
+        computing — a hit returns the stored result (bit-identical to the
+        cold run that produced it, re-stamped with this spec's provenance)
+        without any simulation work — and a cold result is written back
+        after.  Hits are bypassed when observers are attached or
+        ``validate`` is set (those ask for the run's side effects, not just
+        its result).  An explicit ``trace`` disables the store here because
+        this function cannot prove the trace matches the spec; the runner's
+        shared-trace paths do their own store handling with that knowledge.
     """
     spec.validate()
+    run_store = resolve_store(store) if trace is None else None
+    observers = tuple(observers)
+    eligible = _store_eligible(spec, run_store)
+    fingerprint: Optional[str] = None
+    if eligible:
+        fingerprint = fingerprint_spec(spec)
+        if not observers and not validate:
+            cached = run_store.get(fingerprint)
+            if cached is not None:
+                return replace(cached, spec=spec.to_dict())
     trace_seed, algo_seed = spec.run_seeds()
     trace = trace if trace is not None else spec.build_trace(trace_seed)
     topology = spec.build_topology(trace)
@@ -150,7 +191,10 @@ def execute_experiment_spec(
     result = run_simulation(
         algorithm, trace, sim_config, validate=validate, observers=observers
     )
-    return replace(result, spec=spec.to_dict())
+    result = replace(result, spec=spec.to_dict())
+    if eligible:
+        run_store.put(result, fingerprint=fingerprint)
+    return result
 
 
 def execute_run_spec(
@@ -186,6 +230,14 @@ class ExperimentRunner:
         Seed from which repetition seeds are spawned.
     observers:
         Observers attached to every run the runner executes.
+    store:
+        Run-store policy applied to every run (see
+        :func:`repro.store.resolve_store`): ``None`` defers to the
+        ``REPRO_RUN_STORE`` environment default, ``False`` forces cold
+        runs, a path/config/:class:`~repro.store.RunStore` selects one
+        explicitly.  With a store, repeated grids are incremental: cells
+        whose (spec, seed) fingerprint is already stored are served from
+        disk bit-identically, and only dirty cells simulate.
     """
 
     def __init__(
@@ -193,12 +245,14 @@ class ExperimentRunner:
         repetitions: int = 1,
         base_seed: int = 0,
         observers: Iterable[SimulationObserver] = (),
+        store=None,
     ):
         if repetitions < 1:
             raise ConfigurationError(f"repetitions must be >= 1, got {repetitions}")
         self.repetitions = repetitions
         self.base_seed = base_seed
         self.observers = tuple(observers)
+        self.store = store
 
     def repetition_seeds(self) -> List[int]:
         """The spawned seeds, one per repetition (deterministic in ``base_seed``)."""
@@ -208,7 +262,11 @@ class ExperimentRunner:
         """Run one configuration for all repetitions and average the results."""
         experiment = as_experiment_spec(spec)
         runs = [
-            execute_experiment_spec(experiment.with_seed(seed), observers=self.observers)
+            execute_experiment_spec(
+                experiment.with_seed(seed),
+                observers=self.observers,
+                store=self.store,
+            )
             for seed in self.repetition_seeds()
         ]
         return aggregate_runs(runs)
@@ -239,7 +297,7 @@ class ExperimentRunner:
             for seed in seeds
             for experiment in experiments
         ]
-        flat = run_specs_parallel(grid, n_workers=n_workers)
+        flat = run_specs_parallel(grid, n_workers=n_workers, store=self.store)
         return [
             aggregate_runs(
                 [flat[r * len(experiments) + i] for r in range(len(seeds))]
@@ -273,6 +331,15 @@ class ExperimentRunner:
         the *same* workload, cached per worker process); costs are therefore
         bit-identical to sequential execution.  Observers are not shipped to
         pool workers, matching :func:`~repro.simulation.sweep.run_experiments`.
+
+        With a run store (the runner's ``store`` policy), each seeded cell
+        is looked up before anything is built: a repetition whose cells all
+        hit performs **zero** simulation work — the shared trace is not
+        even generated — and only miss cells are executed (on the shared
+        trace) and written back.  Stored cells are bit-identical to the
+        cold runs that produced them, so a warm rebuild of a whole panel
+        equals the cold sequential run exactly.  Store reads are bypassed
+        when the runner carries observers (they must see every run).
         """
         if not specs:
             raise ConfigurationError("compare_on_shared_trace needs at least one spec")
@@ -289,25 +356,48 @@ class ExperimentRunner:
             # Repetition-major order keeps one repetition's specs (which
             # share a trace) consecutive, so chunked dispatch lets the
             # per-worker trace cache serve a whole panel from one build.
+            # The store layer inside run_specs_parallel serves hits from
+            # the parent and dispatches only miss cells to the pool.
             grid = [
                 experiment.with_seed(seed)
                 for seed in seeds
                 for experiment in experiments
             ]
-            flat = run_specs_parallel(grid, n_workers=n_workers)
+            flat = run_specs_parallel(grid, n_workers=n_workers, store=self.store)
             for j, result in enumerate(flat):
                 per_spec_runs[j % len(experiments)].append(result)
         else:
+            run_store = resolve_store(self.store)
             for seed in seeds:
                 seeded = [experiment.with_seed(seed) for experiment in experiments]
-                # All seeded specs share traffic and seed, hence the same trace.
-                shared_trace = seeded[0].build_trace()
-                for i, experiment in enumerate(seeded):
-                    per_spec_runs[i].append(
-                        execute_experiment_spec(
-                            experiment, trace=shared_trace, observers=self.observers
+                results_by_index: Dict[int, RunResult] = {}
+                fingerprints: Dict[int, str] = {}
+                if run_store is not None:
+                    for i, experiment in enumerate(seeded):
+                        if not _store_eligible(experiment, run_store):
+                            continue
+                        fingerprints[i] = fingerprint_spec(experiment)
+                        if self.observers:
+                            continue  # observers must see the run: no hits
+                        cached = run_store.get(fingerprints[i])
+                        if cached is not None:
+                            results_by_index[i] = replace(
+                                cached, spec=experiment.to_dict()
+                            )
+                pending = [i for i in range(len(seeded)) if i not in results_by_index]
+                if pending:
+                    # All seeded specs share traffic and seed, hence the same
+                    # trace; a fully warm repetition skips even this build.
+                    shared_trace = seeded[pending[0]].build_trace()
+                    for i in pending:
+                        result = execute_experiment_spec(
+                            seeded[i], trace=shared_trace, observers=self.observers
                         )
-                    )
+                        if run_store is not None and i in fingerprints:
+                            run_store.put(result, fingerprint=fingerprints[i])
+                        results_by_index[i] = result
+                for i in range(len(seeded)):
+                    per_spec_runs[i].append(results_by_index[i])
         results: Dict[str, AggregateResult] = {}
         for i in range(len(experiments)):
             agg = aggregate_runs(per_spec_runs[i])

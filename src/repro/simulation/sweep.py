@@ -28,6 +28,7 @@ def run_experiments(
     specs: Sequence[AnySpec],
     n_workers: int = 1,
     observers: Iterable[SimulationObserver] = (),
+    store=None,
 ) -> List[AggregateResult]:
     """Execute each spec with its own repeat/seed policy and aggregate.
 
@@ -47,6 +48,14 @@ def run_experiments(
     observers:
         Attached to every run when executing in-process (``n_workers <= 1``);
         observers are not shipped to pool workers.
+    store:
+        Run-store policy (see :func:`repro.store.resolve_store`; ``None``
+        defers to ``REPRO_RUN_STORE``, ``False`` forces cold runs).  With a
+        store, each expanded (spec, repetition-seed) run is looked up
+        before computing and written back after, making repeated sweeps
+        incremental — only cells whose spec or seed changed recompute.
+        Hits are bit-identical to the cold runs that produced them; all
+        store writes happen in this (the parent) process.
     """
     experiments = [as_experiment_spec(spec) for spec in specs]
     if not experiments:
@@ -59,9 +68,12 @@ def run_experiments(
         expanded.extend(experiment.with_seed(seed) for seed in seeds)
 
     if n_workers <= 1:
-        flat = [execute_experiment_spec(spec, observers=observers) for spec in expanded]
+        flat = [
+            execute_experiment_spec(spec, observers=observers, store=store)
+            for spec in expanded
+        ]
     else:
-        flat = run_specs_parallel(expanded, n_workers=n_workers)
+        flat = run_specs_parallel(expanded, n_workers=n_workers, store=store)
 
     results: List[AggregateResult] = []
     cursor = 0
@@ -83,6 +95,7 @@ def run_sweep(
     n_workers: int = 1,
     observers: Iterable[SimulationObserver] = (),
     solver_backend: Optional[str] = None,
+    store=None,
 ) -> List[AggregateResult]:
     """Run every (algorithm, b, alpha) combination of ``sweep`` on one workload.
 
@@ -110,6 +123,9 @@ def run_sweep(
         the demand-fingerprint memo in
         :mod:`repro.matching.static_solver` solves ``max(b_values)`` blossom
         rounds once instead of re-solving every prefix per ``b``.
+    store:
+        Run-store policy, forwarded to :func:`run_experiments` (``None``
+        defers to ``REPRO_RUN_STORE``, ``False`` forces cold runs).
     """
     if repetitions < 1:
         raise ConfigurationError(f"repetitions must be >= 1, got {repetitions}")
@@ -131,4 +147,4 @@ def run_sweep(
             "algorithm.alpha": [float(a) for a in sweep.alpha_values],
         },
     )
-    return run_experiments(specs, n_workers=n_workers, observers=observers)
+    return run_experiments(specs, n_workers=n_workers, observers=observers, store=store)

@@ -1,0 +1,537 @@
+"""File-backed, content-addressed repository of run results.
+
+Layout (everything under one root directory)::
+
+    <root>/
+      index.json                  # timestamped catalogue, one row per entry
+      runs/<fp[:2]>/<fp>.json     # sharded entry files, fp = fingerprint_spec
+
+Each entry file holds the full :class:`~repro.simulation.results.RunResult`
+(via ``to_dict``) together with provenance — the originating spec's plain
+dict, the library version, write timestamps — and a *history* of every time
+the same fingerprint was recomputed (wall-clock seconds and total cost per
+recomputation), which feeds :mod:`repro.store.statistics`.
+
+Durability rules:
+
+* **Writes are atomic.**  Entry files and the index are written to a
+  temporary sibling and moved into place with :func:`os.replace`, so a
+  crashed process can never leave a half-written JSON file behind.
+* **The index is a cache, not the truth.**  The sharded entry files are
+  authoritative; a missing or corrupt ``index.json`` is silently rebuilt by
+  scanning them (:meth:`RunStore.reindex`).
+* **Single-writer semantics.**  Concurrent readers are always safe
+  (atomic replace); concurrent writers are last-writer-wins on the index
+  row.  The execution layer funnels all writes through the parent process
+  (pool workers return results, they never touch the store), so this is
+  the contract sweeps actually need.
+
+Configuration: pass a :class:`StoreConfig`/path explicitly, or set the
+``REPRO_RUN_STORE`` environment variable to a directory path to give every
+execution entry point a default store (``0``/``off``/``false``/empty
+disable it — see :func:`default_store`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from .._version import __version__
+from ..errors import ConfigurationError, SimulationError
+from ..experiments.specs import ExperimentSpec
+from ..simulation.results import RunResult
+from .fingerprint import SCHEMA_VERSION, fingerprint_spec
+
+__all__ = [
+    "ENV_RUN_STORE",
+    "StoreConfig",
+    "StoreCounters",
+    "RunEntry",
+    "RunStore",
+    "default_store",
+    "resolve_store",
+    "store_counters",
+    "reset_store_counters",
+]
+
+#: Environment variable naming the default store directory.
+ENV_RUN_STORE = "REPRO_RUN_STORE"
+
+#: Env values that explicitly disable the default store (case-insensitive).
+_FALSEY_TOKENS = frozenset({"", "0", "off", "false", "no", "none", "disabled"})
+
+#: On-disk format version of entry files and the index (independent of the
+#: fingerprint schema: bumping this forces a reindex, not a recompute).
+STORE_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class StoreConfig:
+    """Where and how a :class:`RunStore` lays out its files.
+
+    Attributes
+    ----------
+    root:
+        Directory holding ``index.json`` and the ``runs/`` shard tree;
+        created on first use.
+    shard_width:
+        Number of leading fingerprint hex digits used as the shard
+        directory name.  Two digits = 256 shards, plenty below a million
+        entries; widen for truly huge stores.
+    """
+
+    root: Path
+    shard_width: int = 2
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "root", Path(self.root))
+        if not (1 <= self.shard_width <= 8):
+            raise ConfigurationError(
+                f"shard_width must be in [1, 8], got {self.shard_width}"
+            )
+
+
+@dataclass
+class StoreCounters:
+    """Hit/miss/write tallies of one store instance (process-local)."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+
+
+#: Process-wide tallies across every store instance, for benchmark
+#: provenance (``BENCH_*.json`` records how much of a pipeline was served
+#: from cache).
+_GLOBAL_COUNTERS = StoreCounters()
+
+
+def store_counters() -> Dict[str, int]:
+    """Process-wide store hit/miss/write counts (across all instances)."""
+    return _GLOBAL_COUNTERS.to_dict()
+
+
+def reset_store_counters() -> None:
+    """Zero the process-wide counters (benchmark harness bookkeeping)."""
+    _GLOBAL_COUNTERS.hits = _GLOBAL_COUNTERS.misses = _GLOBAL_COUNTERS.writes = 0
+
+
+@dataclass(frozen=True)
+class RunEntry:
+    """One index row: enough to list and triage a stored run without
+    opening its (potentially large) entry file."""
+
+    fingerprint: str
+    written_at: str
+    algorithm: str
+    workload: str
+    topology: str
+    b: int
+    alpha: float
+    seed: Optional[int]
+    n_requests: int
+    total_cost: float
+    total_elapsed_seconds: float
+    runs: int = 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "fingerprint": self.fingerprint,
+            "written_at": self.written_at,
+            "algorithm": self.algorithm,
+            "workload": self.workload,
+            "topology": self.topology,
+            "b": self.b,
+            "alpha": self.alpha,
+            "seed": self.seed,
+            "n_requests": self.n_requests,
+            "total_cost": self.total_cost,
+            "total_elapsed_seconds": self.total_elapsed_seconds,
+            "runs": self.runs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunEntry":
+        return cls(
+            fingerprint=data["fingerprint"],
+            written_at=data["written_at"],
+            algorithm=data["algorithm"],
+            workload=data["workload"],
+            topology=data["topology"],
+            b=int(data["b"]),
+            alpha=float(data["alpha"]),
+            seed=data.get("seed"),
+            n_requests=int(data["n_requests"]),
+            total_cost=float(data["total_cost"]),
+            total_elapsed_seconds=float(data["total_elapsed_seconds"]),
+            runs=int(data.get("runs", 1)),
+        )
+
+
+def _utcnow_iso() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def _parse_iso(text: str) -> datetime:
+    stamp = datetime.fromisoformat(text)
+    if stamp.tzinfo is None:
+        stamp = stamp.replace(tzinfo=timezone.utc)
+    return stamp
+
+
+def _atomic_write_json(path: Path, payload: Any) -> None:
+    """Write JSON durably: full content to a temp sibling, then rename."""
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    tmp.write_text(json.dumps(payload, indent=2) + "\n")
+    os.replace(tmp, path)
+
+
+class RunStore:
+    """Content-addressed ``put``/``get`` repository of run results.
+
+    Parameters
+    ----------
+    config:
+        A :class:`StoreConfig`, or a directory path (string or
+        :class:`~pathlib.Path`) for the default layout.
+
+    Examples
+    --------
+    >>> store = RunStore("/tmp/doctest-run-store")
+    >>> spec = ExperimentSpec(
+    ...     algorithm={"name": "rbma", "b": 2, "alpha": 4},
+    ...     traffic={"name": "zipf", "params": {"n_nodes": 8, "n_requests": 50}},
+    ...     seed=7,
+    ... )
+    >>> result = spec.execute()
+    >>> fp = store.put(result)
+    >>> store.contains(fp) and store.get(fp).total_cost == result.total_cost
+    True
+    """
+
+    def __init__(self, config: Union[StoreConfig, str, Path]):
+        if not isinstance(config, StoreConfig):
+            config = StoreConfig(root=Path(config))
+        self.config = config
+        self.counters = StoreCounters()
+        self._index: Optional[Dict[str, RunEntry]] = None
+
+    # -- layout ----------------------------------------------------------
+
+    @property
+    def root(self) -> Path:
+        return self.config.root
+
+    @property
+    def runs_dir(self) -> Path:
+        return self.config.root / "runs"
+
+    @property
+    def index_path(self) -> Path:
+        return self.config.root / "index.json"
+
+    def entry_path(self, fingerprint: str) -> Path:
+        """``runs/<fp[:shard_width]>/<fp>.json`` for a fingerprint."""
+        if not fingerprint or any(c not in "0123456789abcdef" for c in fingerprint):
+            raise ConfigurationError(
+                f"malformed fingerprint {fingerprint!r} (expected lowercase hex)"
+            )
+        shard = fingerprint[: self.config.shard_width]
+        return self.runs_dir / shard / f"{fingerprint}.json"
+
+    def fingerprint(self, spec: Union[ExperimentSpec, Mapping[str, Any]]) -> str:
+        """The store key for ``spec`` (see :func:`~repro.store.fingerprint_spec`)."""
+        return fingerprint_spec(spec)
+
+    def _key(self, ref: Union[str, ExperimentSpec, Mapping[str, Any]]) -> str:
+        return ref if isinstance(ref, str) else self.fingerprint(ref)
+
+    # -- index -----------------------------------------------------------
+
+    def _load_index(self) -> Dict[str, RunEntry]:
+        if self._index is not None:
+            return self._index
+        try:
+            raw = json.loads(self.index_path.read_text())
+            entries = {
+                fp: RunEntry.from_dict(row)
+                for fp, row in raw.get("entries", {}).items()
+            }
+        except FileNotFoundError:
+            entries = self._scan() if self.runs_dir.exists() else {}
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            # The index is derived state: a torn or stale file (e.g. from a
+            # killed writer on a non-atomic filesystem) is rebuilt, never
+            # trusted over the entry files themselves.
+            entries = self._scan()
+        self._index = entries
+        return entries
+
+    def _scan(self) -> Dict[str, RunEntry]:
+        entries: Dict[str, RunEntry] = {}
+        if not self.runs_dir.exists():
+            return entries
+        for path in sorted(self.runs_dir.glob("*/*.json")):
+            try:
+                payload = json.loads(path.read_text())
+                entries[payload["fingerprint"]] = self._entry_from_payload(payload)
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                continue  # a torn file is unreadable, not fatal to the rest
+        return entries
+
+    def _entry_from_payload(self, payload: Mapping[str, Any]) -> RunEntry:
+        result = payload["result"]
+        return RunEntry(
+            fingerprint=payload["fingerprint"],
+            written_at=payload["written_at"],
+            algorithm=result["algorithm"],
+            workload=result["workload"],
+            topology=result["topology"],
+            b=int(result["b"]),
+            alpha=float(result["alpha"]),
+            seed=result.get("seed"),
+            n_requests=int(result["n_requests"]),
+            total_cost=float(result["total_routing_cost"])
+            + float(result["total_reconfiguration_cost"]),
+            total_elapsed_seconds=float(result["total_elapsed_seconds"]),
+            runs=len(payload.get("history", ())) or 1,
+        )
+
+    def _write_index(self) -> None:
+        entries = self._load_index()
+        _atomic_write_json(
+            self.index_path,
+            {
+                "format": STORE_FORMAT,
+                "schema_version": SCHEMA_VERSION,
+                "updated_at": _utcnow_iso(),
+                "entries": {fp: entry.to_dict() for fp, entry in entries.items()},
+            },
+        )
+
+    def reindex(self) -> int:
+        """Rebuild ``index.json`` from the entry files; returns the entry count."""
+        self._index = self._scan()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._write_index()
+        return len(self._index)
+
+    # -- core operations -------------------------------------------------
+
+    def contains(self, ref: Union[str, ExperimentSpec, Mapping[str, Any]]) -> bool:
+        """Whether a result for this fingerprint (or spec) is stored."""
+        return self.entry_path(self._key(ref)).exists()
+
+    def __contains__(self, ref) -> bool:
+        return self.contains(ref)
+
+    def __len__(self) -> int:
+        return len(self._load_index())
+
+    def get_payload(
+        self, ref: Union[str, ExperimentSpec, Mapping[str, Any]]
+    ) -> Optional[Dict[str, Any]]:
+        """The raw stored payload (result + provenance + history), or ``None``."""
+        path = self.entry_path(self._key(ref))
+        try:
+            return json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except json.JSONDecodeError as exc:
+            raise SimulationError(
+                f"run-store entry {path} is corrupt ({exc}); delete it or run "
+                "RunStore.reindex() after removing the file"
+            ) from exc
+
+    def get(
+        self, ref: Union[str, ExperimentSpec, Mapping[str, Any]]
+    ) -> Optional[RunResult]:
+        """The stored :class:`RunResult`, or ``None`` on a miss.
+
+        Counts a hit or a miss on the store's (and the process-wide)
+        counters — the number the benchmark harness reports as
+        ``store_hits``/``store_misses``.
+        """
+        payload = self.get_payload(ref)
+        if payload is None:
+            self.counters.misses += 1
+            _GLOBAL_COUNTERS.misses += 1
+            return None
+        self.counters.hits += 1
+        _GLOBAL_COUNTERS.hits += 1
+        return RunResult.from_dict(payload["result"])
+
+    def put(
+        self,
+        result: RunResult,
+        fingerprint: Optional[str] = None,
+    ) -> str:
+        """Store ``result`` under its spec's fingerprint; returns the key.
+
+        The result must carry its originating spec (``result.spec``) unless
+        ``fingerprint`` is given by the caller who computed it.  Re-putting
+        an existing fingerprint overwrites the stored result and appends a
+        row to the entry's recomputation history (timestamp, wall-clock,
+        total cost) — the raw material for the statistics layer's runtime
+        CIs and determinism checks.
+        """
+        if fingerprint is None:
+            if result.spec is None:
+                raise ConfigurationError(
+                    "cannot store a RunResult without provenance: the result "
+                    "carries no spec and no fingerprint was supplied"
+                )
+            fingerprint = fingerprint_spec(result.spec)
+        path = self.entry_path(fingerprint)
+        previous = self.get_payload(fingerprint) if path.exists() else None
+        history = list(previous.get("history", ())) if previous else []
+        now = _utcnow_iso()
+        history.append(
+            {
+                "written_at": now,
+                "wall_seconds": float(result.total_elapsed_seconds),
+                "total_cost": float(result.total_cost),
+            }
+        )
+        payload = {
+            "format": STORE_FORMAT,
+            "schema_version": SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "written_at": previous["written_at"] if previous else now,
+            "updated_at": now,
+            "repro_version": __version__,
+            "spec": result.spec,
+            "result": result.to_dict(),
+            "history": history,
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        _atomic_write_json(path, payload)
+        entries = self._load_index()
+        entries[fingerprint] = self._entry_from_payload(payload)
+        self._write_index()
+        self.counters.writes += 1
+        _GLOBAL_COUNTERS.writes += 1
+        return fingerprint
+
+    def delete(self, ref: Union[str, ExperimentSpec, Mapping[str, Any]]) -> bool:
+        """Remove one entry; returns whether anything was deleted."""
+        fingerprint = self._key(ref)
+        path = self.entry_path(fingerprint)
+        entries = self._load_index()
+        removed = entries.pop(fingerprint, None) is not None
+        try:
+            path.unlink()
+            removed = True
+        except FileNotFoundError:
+            pass
+        if removed:
+            self._write_index()
+        return removed
+
+    def list_runs(self) -> List[RunEntry]:
+        """All index rows, newest write first (ties broken by fingerprint)."""
+        return sorted(
+            self._load_index().values(),
+            key=lambda e: (e.written_at, e.fingerprint),
+            reverse=True,
+        )
+
+    def find(self, prefix: str) -> List[RunEntry]:
+        """Entries whose fingerprint starts with ``prefix`` (CLI ``show``)."""
+        return [e for e in self.list_runs() if e.fingerprint.startswith(prefix)]
+
+    def gc(
+        self,
+        max_entries: Optional[int] = None,
+        max_age_days: Optional[float] = None,
+        dry_run: bool = False,
+        now: Optional[datetime] = None,
+    ) -> List[str]:
+        """Expire entries by age and/or count; returns deleted fingerprints.
+
+        ``max_age_days`` removes entries last written longer ago than that;
+        ``max_entries`` then keeps only the newest N.  ``dry_run`` reports
+        what *would* be deleted without touching disk.
+        """
+        if max_entries is not None and max_entries < 0:
+            raise ConfigurationError(f"max_entries must be >= 0, got {max_entries}")
+        if max_age_days is not None and max_age_days < 0:
+            raise ConfigurationError(f"max_age_days must be >= 0, got {max_age_days}")
+        entries = self.list_runs()  # newest first
+        doomed: Dict[str, RunEntry] = {}
+        if max_age_days is not None:
+            reference = now or datetime.now(timezone.utc)
+            cutoff = reference - timedelta(days=max_age_days)
+            doomed.update(
+                (e.fingerprint, e)
+                for e in entries
+                if _parse_iso(e.written_at) < cutoff
+            )
+        if max_entries is not None:
+            survivors = [e for e in entries if e.fingerprint not in doomed]
+            doomed.update((e.fingerprint, e) for e in survivors[max_entries:])
+        fingerprints = list(doomed)
+        if not dry_run:
+            for fingerprint in fingerprints:
+                self.delete(fingerprint)
+        return fingerprints
+
+
+#: Per-process cache of env-configured default stores, keyed by the env
+#: value, so repeated execution calls share one instance (and its index).
+_DEFAULT_STORES: Dict[str, RunStore] = {}
+
+
+def default_store() -> Optional[RunStore]:
+    """The process default store from ``REPRO_RUN_STORE``, or ``None``.
+
+    The variable names the store's root directory; unset or one of
+    ``0/off/false/no/none/disabled`` (or empty) means "no default store" —
+    execution entry points then run everything cold unless handed a store
+    explicitly.
+    """
+    value = os.environ.get(ENV_RUN_STORE)
+    if value is None or value.strip().lower() in _FALSEY_TOKENS:
+        return None
+    store = _DEFAULT_STORES.get(value)
+    if store is None:
+        store = RunStore(value)
+        _DEFAULT_STORES[value] = store
+    return store
+
+
+def resolve_store(
+    store: Union[None, bool, RunStore, StoreConfig, str, Path]
+) -> Optional[RunStore]:
+    """Normalise every execution-layer ``store=`` argument to a store or ``None``.
+
+    ``None`` defers to :func:`default_store` (the ``REPRO_RUN_STORE``
+    environment variable); ``False`` disables the store outright regardless
+    of the environment; a :class:`RunStore` passes through; a
+    :class:`StoreConfig` or path opens one.
+    """
+    if store is None:
+        return default_store()
+    if store is False:
+        return None
+    if store is True:
+        raise ConfigurationError(
+            "store=True is ambiguous: pass a path/StoreConfig/RunStore, or "
+            "set REPRO_RUN_STORE and pass store=None"
+        )
+    if isinstance(store, RunStore):
+        return store
+    if isinstance(store, (StoreConfig, str, Path)):
+        return RunStore(store)
+    raise ConfigurationError(
+        f"cannot interpret store={store!r} (expected None, False, a path, "
+        "a StoreConfig, or a RunStore)"
+    )

@@ -38,6 +38,14 @@ def pytest_collection_modifyitems(config, items):
             item.add_marker(skip)
 
 
+@pytest.fixture(autouse=True)
+def _no_ambient_run_store(monkeypatch):
+    """Keep the suite hermetic: a developer's ``REPRO_RUN_STORE`` must not
+    leak cached results into tests that expect cold runs (store tests opt
+    in by passing explicit store paths)."""
+    monkeypatch.delenv("REPRO_RUN_STORE", raising=False)
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic RNG for tests."""
