@@ -1,0 +1,23 @@
+#!/bin/sh
+# stream CI tier: certify the streaming trace protocol end to end.
+#   * tests/test_traffic_stream.py — TraceStream protocol, chunked
+#     generators (fork_generator counter/buffer semantics, every streamable
+#     workload bit-identical to its bulk generator at any chunk size), tee
+#     fan-out, the incremental statistics accumulator, and chunked CSV/JSONL
+#     readers;
+#   * tests/test_streaming_engine.py — the streaming drive loop: a
+#     differential matrix over every registered algorithm x backend x chunk
+#     size asserting streamed replay is bit-identical to materialized
+#     replay, the golden pins under streaming, unknown-length checkpoint
+#     planning, the bounded-memory guarantee, and the runner/spec
+#     integration (traffic.streaming, compare_on_shared_trace fan-out).
+# The same tests run in the default suite; this script is the focused
+# entry point for CI and for iterating on stream-layer changes.
+# Extra pytest arguments are passed through.
+set -eu
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    exec python -m pytest -q \
+    tests/test_traffic_stream.py \
+    tests/test_streaming_engine.py \
+    "$@"

@@ -59,6 +59,7 @@ from .traffic import (
     load_trace_csv,
     make_workload,
     save_trace_csv,
+    stream_trace_csv,
 )
 
 __all__ = ["main", "build_parser"]
@@ -87,7 +88,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--solver-backend", default=None,
                        help="static blossom kernel for SO-BMA: array (default), "
                             "nx, or numba")
+        add_stream_flags(p)
         add_store_flags(p)
+
+    def add_stream_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--stream", action="store_true",
+                       help="replay the workload as a lazy trace stream "
+                            "(memory bounded by the chunk size; results are "
+                            "bit-identical to materialized replay)")
+        p.add_argument("--chunk-size", type=int, default=None, metavar="N",
+                       help="requests per streamed segment (default 8192; "
+                            "implies --stream)")
 
     def add_store_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument("--store", nargs="?", const=".repro-store", default=None,
@@ -110,6 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print per-checkpoint progress (observer-based)")
     p_run.add_argument("--out", default=None,
                        help="write the spec, per-run results, and aggregate as JSON")
+    add_stream_flags(p_run)
     add_store_flags(p_run)
 
     p_sim = sub.add_parser("simulate", help="run one algorithm on one workload")
@@ -144,6 +156,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_ana = sub.add_parser("analyze-trace", help="print structure statistics of a CSV trace")
     p_ana.add_argument("path", help="trace CSV written by generate-trace")
+    add_stream_flags(p_ana)
 
     sub.add_parser("list", help="list available algorithms, workloads, topologies, "
                                 "and paging policies")
@@ -173,13 +186,25 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _streaming_args(args: argparse.Namespace):
+    """The (streaming, chunk_size) pair from ``--stream``/``--chunk-size``.
+
+    An explicit ``--chunk-size`` implies streaming.
+    """
+    chunk_size = getattr(args, "chunk_size", None)
+    streaming = bool(getattr(args, "stream", False)) or chunk_size is not None
+    return streaming, chunk_size
+
+
 def _build_specs(args: argparse.Namespace, algorithms: Sequence[str]):
+    streaming, chunk_size = _streaming_args(args)
     return [
         ExperimentSpec(
             algorithm={"name": algorithm, "b": args.b, "alpha": args.alpha,
                        "solver_backend": args.solver_backend},
             traffic={"name": args.workload,
-                     "params": {"n_nodes": args.nodes, "n_requests": args.requests}},
+                     "params": {"n_nodes": args.nodes, "n_requests": args.requests},
+                     "streaming": streaming, "chunk_size": chunk_size},
             topology={"name": args.topology},
             simulation={"checkpoints": args.checkpoints},
         )
@@ -233,6 +258,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         spec = spec.with_seed(spec.seed, repeats=args.repeats)
     if args.seed is not None:
         spec = spec.with_seed(args.seed, repeats=spec.repeats)
+    streaming, chunk_size = _streaming_args(args)
+    if streaming:
+        spec = spec.with_streaming(chunk_size=chunk_size)
     observers = (ProgressObserver(),) if args.progress else ()
     singles = [spec.with_seed(seed) for seed in spec.repetition_seeds()]
     # Resolve the store once so the hit/miss summary reads one instance's
@@ -300,6 +328,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         alpha_values=tuple(args.alpha_values if args.alpha_values else [args.alpha]),
         algorithms=tuple(args.algorithms),
     )
+    streaming, chunk_size = _streaming_args(args)
     results = run_sweep(
         sweep,
         workload=args.workload,
@@ -311,6 +340,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         n_workers=args.workers,
         solver_backend=args.solver_backend,
         store=_store_arg(args),
+        streaming=streaming,
+        chunk_size=chunk_size,
     )
     # Label collisions would silently drop rows: disambiguate by alpha when
     # more than one alpha value is swept.
@@ -332,7 +363,13 @@ def _cmd_generate_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze_trace(args: argparse.Namespace) -> int:
-    trace = load_trace_csv(args.path)
+    streaming, chunk_size = _streaming_args(args)
+    if streaming:
+        # Chunked read + incremental accumulator: memory stays bounded by
+        # the chunk size, the statistics are bit-identical.
+        trace = stream_trace_csv(args.path, chunk_size=chunk_size)
+    else:
+        trace = load_trace_csv(args.path)
     stats = compute_trace_statistics(trace)
     print(f"trace {trace.name!r}: {stats.n_requests:,} requests, {stats.n_nodes} racks")
     for key, value in stats.to_dict().items():

@@ -48,12 +48,18 @@ __all__ = [
 
 @dataclass(frozen=True)
 class RunContext:
-    """What the engine is running: passed to every observer hook."""
+    """What the engine is running: passed to every observer hook.
+
+    ``trace`` is the materialized :class:`~repro.traffic.base.Trace` or, on
+    the streaming path, the :class:`~repro.traffic.stream.TraceStream` being
+    consumed (both expose ``.name``/``.n_nodes``).  ``n_requests`` is ``None``
+    while streaming a trace whose length is only discovered at exhaustion.
+    """
 
     algorithm: "OnlineBMatchingAlgorithm"
-    trace: "Trace"
+    trace: Any
     config: "SimulationConfig"
-    n_requests: int
+    n_requests: Optional[int]
 
 
 @dataclass(frozen=True)
@@ -149,13 +155,18 @@ class ProgressObserver(SimulationObserver):
     def on_start(self, context: RunContext) -> None:
         self._started_at = time.perf_counter()
         label = self.label or f"{context.algorithm.name} on {context.trace.name}"
-        print(f"[repro] {label}: {context.n_requests:,} requests", file=self.stream)
+        total = "?" if context.n_requests is None else f"{context.n_requests:,}"
+        print(f"[repro] {label}: {total} requests", file=self.stream)
 
     def on_checkpoint(self, context: RunContext, event: CheckpointEvent) -> None:
-        pct = 100.0 * event.requests_served / max(1, context.n_requests)
+        if context.n_requests is None:
+            progress = "     ?%"
+        else:
+            pct = 100.0 * event.requests_served / max(1, context.n_requests)
+            progress = f"{pct:5.1f}%"
         wall = time.perf_counter() - self._started_at
         print(
-            f"[repro]   {event.requests_served:>9,} ({pct:5.1f}%)  "
+            f"[repro]   {event.requests_served:>9,} ({progress.strip():>6})  "
             f"routing={event.routing_cost:,.0f}  reconf={event.reconfiguration_cost:,.0f}  "
             f"wall={wall:.1f}s",
             file=self.stream,

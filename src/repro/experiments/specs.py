@@ -219,13 +219,30 @@ class TopologySpec:
 
 @dataclass(frozen=True)
 class TrafficSpec:
-    """The workload, by registered name plus generator parameters."""
+    """The workload, by registered name plus generator parameters.
+
+    ``streaming`` asks executors to replay the workload as a lazy
+    :class:`~repro.traffic.stream.TraceStream` of ``chunk_size``-request
+    segments instead of materializing it.  Streaming is an *execution* knob,
+    not part of the experiment identity: results are bit-identical either
+    way, so the canonical form (and thus the run-store fingerprint) excludes
+    both fields.
+    """
 
     name: str
     params: Mapping[str, Any] = field(default_factory=dict)
+    streaming: bool = False
+    chunk_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "params", dict(self.params))
+        if self.chunk_size is not None:
+            size = int(self.chunk_size)
+            if size != self.chunk_size or size < 1:
+                raise ConfigurationError(
+                    f"chunk_size must be a positive integer, got {self.chunk_size!r}"
+                )
+            object.__setattr__(self, "chunk_size", size)
 
     def validate(self) -> "TrafficSpec":
         """Resolve the name against the workload registry (raises early)."""
@@ -238,17 +255,44 @@ class TrafficSpec:
         kwargs.setdefault("seed", seed)
         return _workload_registry().build(self.name, **kwargs)
 
+    def build_stream(self, seed: Optional[int] = None):
+        """The workload as a lazy :class:`~repro.traffic.stream.TraceStream`.
+
+        Bit-identical to :meth:`build` with the same seed, for any chunk
+        size; workloads without a chunked generator are materialized once
+        and sliced.
+        """
+        from ..traffic.registry import make_workload_stream
+
+        kwargs = dict(self.params)
+        kwargs.setdefault("seed", seed)
+        return make_workload_stream(self.name, chunk_size=self.chunk_size, **kwargs)
+
     def to_dict(self) -> Dict[str, Any]:
-        return {"name": self.name, "params": dict(self.params)}
+        data: Dict[str, Any] = {"name": self.name, "params": dict(self.params)}
+        # Emitted only when non-default so pre-streaming spec JSON (and the
+        # specs' round-trip tests) are byte-for-byte unchanged.
+        if self.streaming:
+            data["streaming"] = True
+        if self.chunk_size is not None:
+            data["chunk_size"] = self.chunk_size
+        return data
 
     @classmethod
     def from_dict(cls, data: Union[str, Mapping[str, Any]]) -> "TrafficSpec":
         if isinstance(data, str):
             return cls(name=data)
-        _check_keys(data, frozenset({"name", "params"}), "TrafficSpec")
+        _check_keys(
+            data, frozenset({"name", "params", "streaming", "chunk_size"}), "TrafficSpec"
+        )
         if "name" not in data:
             raise ConfigurationError("TrafficSpec requires a workload 'name'")
-        return cls(name=data["name"], params=dict(data.get("params", {})))
+        return cls(
+            name=data["name"],
+            params=dict(data.get("params", {})),
+            streaming=bool(data.get("streaming", False)),
+            chunk_size=data.get("chunk_size"),
+        )
 
 
 @dataclass(frozen=True)
@@ -423,6 +467,25 @@ class ExperimentSpec:
             trace_seed = self.run_seeds()[0]
         return self.traffic.build(seed=trace_seed)
 
+    def build_stream(self, trace_seed: Optional[int] = None):
+        """This experiment's workload as a lazy trace stream (same seeding)."""
+        if trace_seed is None and self.seed is not None:
+            trace_seed = self.run_seeds()[0]
+        return self.traffic.build_stream(seed=trace_seed)
+
+    def with_streaming(
+        self, streaming: bool = True, chunk_size: Optional[int] = None
+    ) -> "ExperimentSpec":
+        """The same experiment with the streaming execution knob flipped.
+
+        Streaming does not change the result (replay is bit-identical) nor
+        the run-store fingerprint — see :meth:`canonical_dict`.
+        """
+        return replace(
+            self,
+            traffic=replace(self.traffic, streaming=streaming, chunk_size=chunk_size),
+        )
+
     def build_topology(self, trace):
         """Construct the topology, sized to the trace unless pinned."""
         return self.topology.build(default_n_racks=trace.n_nodes)
@@ -482,8 +545,17 @@ class ExperimentSpec:
         specs describing the same experiment (however their dicts were
         keyed or their numbers typed) canonicalise identically, which is
         what the run-store fingerprint hashes.
+
+        The traffic ``streaming``/``chunk_size`` execution knobs are
+        stripped: streamed replay is bit-identical to materialized replay,
+        so both must hash to the same store cell.
         """
-        return canonical_data(self.to_dict())
+        data = self.to_dict()
+        traffic = dict(data["traffic"])
+        traffic.pop("streaming", None)
+        traffic.pop("chunk_size", None)
+        data["traffic"] = traffic
+        return canonical_data(data)
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any], validate: bool = True) -> "ExperimentSpec":

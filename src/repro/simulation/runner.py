@@ -31,7 +31,8 @@ from ..experiments.specs import (
 from ..store.fingerprint import fingerprint_spec
 from ..store.run_store import RunStore, resolve_store
 from ..traffic.base import Trace
-from .engine import run_simulation
+from ..traffic.stream import TraceStream
+from .engine import StreamingSimulation, run_simulation
 from .results import AggregateResult, RunResult, aggregate_runs
 
 __all__ = [
@@ -134,7 +135,7 @@ def _store_eligible(spec: ExperimentSpec, store: Optional[RunStore]) -> bool:
 
 def execute_experiment_spec(
     spec: ExperimentSpec,
-    trace: Optional[Trace] = None,
+    trace: Optional[Union[Trace, TraceStream]] = None,
     observers: Iterable[SimulationObserver] = (),
     validate: bool = False,
     store=None,
@@ -152,9 +153,12 @@ def execute_experiment_spec(
         The experiment description (``repeats`` is ignored here — this is one
         run; see :class:`ExperimentRunner` or :func:`~repro.simulation.sweep.run_experiments`).
     trace:
-        Optionally a pre-generated trace (so several algorithms can share the
-        exact same workload, as the paper's figures require); if omitted the
-        workload is generated from the spec.
+        Optionally a pre-generated trace — or a
+        :class:`~repro.traffic.stream.TraceStream` — so several algorithms
+        can share the exact same workload, as the paper's figures require.
+        If omitted the workload is generated from the spec: lazily as a
+        stream when ``spec.traffic.streaming`` is set (bounded memory,
+        bit-identical result and store fingerprint), materialized otherwise.
     observers, validate:
         Forwarded to :func:`~repro.simulation.engine.run_simulation`.
     store:
@@ -184,7 +188,12 @@ def execute_experiment_spec(
             if cached is not None:
                 return replace(cached, spec=spec.to_dict())
     trace_seed, algo_seed = spec.run_seeds()
-    trace = trace if trace is not None else spec.build_trace(trace_seed)
+    if trace is None:
+        trace = (
+            spec.build_stream(trace_seed)
+            if spec.traffic.streaming
+            else spec.build_trace(trace_seed)
+        )
     topology = spec.build_topology(trace)
     algorithm = spec.build_algorithm(topology, algo_seed)
     sim_config = replace(spec.simulation, seed=spec.seed)
@@ -385,7 +394,18 @@ class ExperimentRunner:
                                 cached, spec=experiment.to_dict()
                             )
                 pending = [i for i in range(len(seeded)) if i not in results_by_index]
-                if pending:
+                if pending and seeded[pending[0]].traffic.streaming:
+                    # One shared stream, generated once and teed to every
+                    # pending algorithm; bit-identical to the materialized
+                    # branch below (and to stored cells).
+                    stream_results = self._run_shared_stream(
+                        [seeded[i] for i in pending]
+                    )
+                    for i, result in zip(pending, stream_results):
+                        if run_store is not None and i in fingerprints:
+                            run_store.put(result, fingerprint=fingerprints[i])
+                        results_by_index[i] = result
+                elif pending:
                     # All seeded specs share traffic and seed, hence the same
                     # trace; a fully warm repetition skips even this build.
                     shared_trace = seeded[pending[0]].build_trace()
@@ -402,4 +422,55 @@ class ExperimentRunner:
         for i in range(len(experiments)):
             agg = aggregate_runs(per_spec_runs[i])
             results[agg.label] = agg
+        return results
+
+    def _run_shared_stream(self, seeded: Sequence[ExperimentSpec]) -> List[RunResult]:
+        """Replay one shared workload stream through several algorithms at once.
+
+        The stream is generated exactly once: :meth:`TraceStream.tee` fans
+        the segments out with bounded lookahead and the per-algorithm
+        streaming drivers are fed in lockstep (one segment each per round),
+        so peak memory stays bounded by the chunk size.  Algorithms that
+        need the whole trace up front (``requires_full_trace``) share a
+        single materialized copy assembled from one extra tee branch.
+        Results are bit-identical to replaying a materialized shared trace.
+        """
+        stream = seeded[0].build_stream()
+        algorithms = []
+        configs = []
+        for spec in seeded:
+            topology = spec.build_topology(stream)
+            algorithms.append(spec.build_algorithm(topology))
+            configs.append(replace(spec.simulation, seed=spec.seed))
+        online = [i for i, a in enumerate(algorithms) if not a.requires_full_trace]
+        offline = [i for i, a in enumerate(algorithms) if a.requires_full_trace]
+        children = stream.tee(len(online) + (1 if offline else 0))
+        drivers = {
+            i: StreamingSimulation(
+                algorithms[i],
+                stream.metadata,
+                config=configs[i],
+                observers=self.observers,
+                n_requests=stream.n_requests,
+                source=children[k],
+            )
+            for k, i in enumerate(online)
+        }
+        collected: List[Trace] = []
+        iterators = [iter(child) for child in children]
+        for segments in zip(*iterators):
+            for k, i in enumerate(online):
+                drivers[i].feed(segments[k])
+            if offline:
+                collected.append(segments[-1])
+        results: List[Optional[RunResult]] = [None] * len(seeded)
+        for i in online:
+            results[i] = replace(drivers[i].finish(), spec=seeded[i].to_dict())
+        if offline:
+            full = TraceStream(collected, stream.metadata).materialize()
+            for i in offline:
+                result = run_simulation(
+                    algorithms[i], full, configs[i], observers=self.observers
+                )
+                results[i] = replace(result, spec=seeded[i].to_dict())
         return results

@@ -96,6 +96,8 @@ def run_sweep(
     observers: Iterable[SimulationObserver] = (),
     solver_backend: Optional[str] = None,
     store=None,
+    streaming: bool = False,
+    chunk_size: Optional[int] = None,
 ) -> List[AggregateResult]:
     """Run every (algorithm, b, alpha) combination of ``sweep`` on one workload.
 
@@ -126,6 +128,10 @@ def run_sweep(
     store:
         Run-store policy, forwarded to :func:`run_experiments` (``None``
         defers to ``REPRO_RUN_STORE``, ``False`` forces cold runs).
+    streaming, chunk_size:
+        Replay each run's workload as a lazy trace stream of
+        ``chunk_size``-request segments (bounded memory).  Results and
+        store fingerprints are bit-identical to materialized runs.
     """
     if repetitions < 1:
         raise ConfigurationError(f"repetitions must be >= 1, got {repetitions}")
@@ -133,7 +139,8 @@ def run_sweep(
         algorithm={"name": sweep.algorithms[0], "b": int(sweep.b_values[0]),
                    "alpha": float(sweep.alpha_values[0]),
                    "solver_backend": solver_backend},
-        traffic={"name": workload, "params": dict(workload_kwargs or {})},
+        traffic={"name": workload, "params": dict(workload_kwargs or {}),
+                 "streaming": streaming, "chunk_size": chunk_size},
         topology={"name": topology, "params": dict(topology_kwargs or {})},
         simulation={"checkpoints": checkpoints},
         repeats=repetitions,

@@ -43,14 +43,24 @@ class TraceMetadata:
 
 
 class Trace:
-    """A finite sequence of communication requests between racks."""
+    """A finite sequence of communication requests between racks.
+
+    ``offset`` is the global index of the trace's first request: ``0`` for a
+    full trace, and the slice start for segments produced by slicing or by a
+    :class:`~repro.traffic.stream.TraceStream`.  Request timestamps are
+    always *global* (``offset + local index``), so a batched or streamed
+    segment sees the same timestamps the reference per-request path does.
+    """
 
     def __init__(
         self,
         sources: Sequence[int] | np.ndarray,
         destinations: Sequence[int] | np.ndarray,
         metadata: TraceMetadata,
+        offset: int = 0,
     ):
+        if offset < 0:
+            raise TrafficError(f"trace offset must be non-negative, got {offset}")
         src = np.asarray(sources, dtype=np.int32)
         dst = np.asarray(destinations, dtype=np.int32)
         if src.shape != dst.shape or src.ndim != 1:
@@ -67,6 +77,7 @@ class Trace:
             raise TrafficError("trace contains self-loop requests")
         self._src = src
         self._dst = dst
+        self._offset = int(offset)
         self.metadata = metadata
 
     # ------------------------------------------------------------------ #
@@ -112,6 +123,28 @@ class Trace:
         """Destination rack ids (read-only view)."""
         return self._dst
 
+    @property
+    def offset(self) -> int:
+        """Global index of this trace's first request (0 for a full trace)."""
+        return self._offset
+
+    def with_offset(self, offset: int) -> "Trace":
+        """The same requests rebased to start at global index ``offset``.
+
+        Shares the underlying arrays; used by :class:`~repro.traffic.stream.TraceStream`
+        to assign global positions to generator-produced segments.
+        """
+        if offset == self._offset:
+            return self
+        clone = object.__new__(Trace)
+        clone._src = self._src
+        clone._dst = self._dst
+        clone._offset = int(offset)
+        clone.metadata = self.metadata
+        if clone._offset < 0:
+            raise TrafficError(f"trace offset must be non-negative, got {offset}")
+        return clone
+
     def __len__(self) -> int:
         return int(self._src.size)
 
@@ -126,13 +159,22 @@ class Trace:
                 seed=self.metadata.seed,
                 params=dict(self.metadata.params),
             )
-            return Trace(self._src[index], self._dst[index], meta)
-        return Request(int(self._src[index]), int(self._dst[index]), timestamp=float(index))
+            # Segments keep *global* timestamps: the slice start is folded
+            # into the segment's offset so batched/streamed replay sees the
+            # same request timestamps as the reference per-request path.
+            start = index.indices(len(self))[0]
+            return Trace(self._src[index], self._dst[index], meta,
+                         offset=self._offset + start)
+        if index < 0:
+            index += len(self)
+        return Request(int(self._src[index]), int(self._dst[index]),
+                       timestamp=float(self._offset + index))
 
     def requests(self) -> Iterator[Request]:
         """Yield the trace as :class:`~repro.types.Request` objects in order."""
         for i in range(len(self)):
-            yield Request(int(self._src[i]), int(self._dst[i]), timestamp=float(i))
+            yield Request(int(self._src[i]), int(self._dst[i]),
+                          timestamp=float(self._offset + i))
 
     def pairs(self) -> Iterator[NodePair]:
         """Yield the canonical node pair of every request in order."""

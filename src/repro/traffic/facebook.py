@@ -34,9 +34,16 @@ import numpy as np
 from ..errors import TrafficError
 from .base import Trace, TraceMetadata
 from .matrix import TrafficMatrix
+from .stream import TraceStream, validate_chunk_size
 from .temporal import TemporalModel, interleave_bursts
 
-__all__ = ["database_trace", "web_service_trace", "hadoop_trace"]
+__all__ = [
+    "database_trace",
+    "database_stream",
+    "web_service_trace",
+    "web_service_stream",
+    "hadoop_trace",
+]
 
 
 def _zipf_popularity(n_nodes: int, exponent: float, rng: np.random.Generator) -> np.ndarray:
@@ -99,6 +106,57 @@ def database_trace(
     return Trace(pairs[:, 0], pairs[:, 1], meta)
 
 
+def database_stream(
+    n_nodes: int = 100,
+    n_requests: int = 350_000,
+    seed: Optional[int] = None,
+    popularity_exponent: float = 1.1,
+    group_size: int = 10,
+    locality_boost: float = 6.0,
+    repeat_probability: float = 0.75,
+    memory: int = 48,
+    drift_interval: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> TraceStream:
+    """Chunked :func:`database_trace` — bit-identical for any chunk size.
+
+    The popularity/locality matrix is a prefix draw replayed at stream
+    start; the temporal model streams via counter-advanced RNG forks.
+    """
+    if drift_interval is None:
+        drift_interval = max(500, n_requests // 14)
+    size = validate_chunk_size(chunk_size)
+    meta = TraceMetadata(
+        name="facebook-database",
+        n_nodes=n_nodes,
+        seed=seed,
+        params={
+            "n_requests": n_requests,
+            "popularity_exponent": popularity_exponent,
+            "group_size": group_size,
+            "locality_boost": locality_boost,
+            "repeat_probability": repeat_probability,
+            "memory": memory,
+            "drift_interval": drift_interval,
+        },
+    )
+
+    def factory():
+        rng = np.random.default_rng(seed)
+        popularity = _zipf_popularity(n_nodes, popularity_exponent, rng)
+        matrix = TrafficMatrix.from_node_popularity(
+            popularity, _locality_mask(n_nodes, group_size, locality_boost)
+        )
+        model = TemporalModel(
+            repeat_probability=repeat_probability, memory=memory,
+            drift_interval=drift_interval,
+        )
+        for pairs in model.stream(matrix, n_requests, rng, size):
+            yield Trace(pairs[:, 0], pairs[:, 1], meta)
+
+    return TraceStream(factory, meta, n_requests=n_requests, chunk_size=size)
+
+
 def web_service_trace(
     n_nodes: int = 100,
     n_requests: int = 400_000,
@@ -137,6 +195,47 @@ def web_service_trace(
         },
     )
     return Trace(pairs[:, 0], pairs[:, 1], meta)
+
+
+def web_service_stream(
+    n_nodes: int = 100,
+    n_requests: int = 400_000,
+    seed: Optional[int] = None,
+    popularity_exponent: float = 0.8,
+    repeat_probability: float = 0.55,
+    memory: int = 96,
+    drift_interval: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> TraceStream:
+    """Chunked :func:`web_service_trace` — bit-identical for any chunk size."""
+    if drift_interval is None:
+        drift_interval = max(500, n_requests // 10)
+    size = validate_chunk_size(chunk_size)
+    meta = TraceMetadata(
+        name="facebook-web",
+        n_nodes=n_nodes,
+        seed=seed,
+        params={
+            "n_requests": n_requests,
+            "popularity_exponent": popularity_exponent,
+            "repeat_probability": repeat_probability,
+            "memory": memory,
+            "drift_interval": drift_interval,
+        },
+    )
+
+    def factory():
+        rng = np.random.default_rng(seed)
+        popularity = _zipf_popularity(n_nodes, popularity_exponent, rng)
+        matrix = TrafficMatrix.from_node_popularity(popularity)
+        model = TemporalModel(
+            repeat_probability=repeat_probability, memory=memory,
+            drift_interval=drift_interval,
+        )
+        for pairs in model.stream(matrix, n_requests, rng, size):
+            yield Trace(pairs[:, 0], pairs[:, 1], meta)
+
+    return TraceStream(factory, meta, n_requests=n_requests, chunk_size=size)
 
 
 def hadoop_trace(

@@ -13,16 +13,47 @@ from typing import Any, Callable
 
 from ..experiments.registry import Registry
 from .base import Trace
-from .facebook import database_trace, hadoop_trace, web_service_trace
-from .microsoft import microsoft_trace
-from .synthetic import hotspot_trace, permutation_trace, uniform_random_trace, zipf_pair_trace
+from .facebook import (
+    database_stream,
+    database_trace,
+    hadoop_trace,
+    web_service_stream,
+    web_service_trace,
+)
+from .microsoft import microsoft_stream, microsoft_trace
+from .stream import TraceStream, validate_chunk_size
+from .synthetic import (
+    hotspot_stream,
+    hotspot_trace,
+    permutation_stream,
+    permutation_trace,
+    uniform_random_stream,
+    uniform_random_trace,
+    zipf_pair_stream,
+    zipf_pair_trace,
+)
 
-__all__ = ["WORKLOADS", "available_workloads", "make_workload", "register_workload"]
+__all__ = [
+    "WORKLOADS",
+    "WORKLOAD_STREAMS",
+    "available_workloads",
+    "make_workload",
+    "make_workload_stream",
+    "register_workload",
+    "register_workload_stream",
+]
 
 WorkloadFactory = Callable[..., Trace]
+WorkloadStreamFactory = Callable[..., TraceStream]
 
 #: The workload registry — the single source of truth for workload names.
 WORKLOADS: Registry[Trace] = Registry("workload")
+
+#: Chunked generators for workloads that can stream without materializing.
+#: Workloads absent here (facebook-hadoop: its background interleave is a
+#: global argsort over the full trace) fall back to materialize-then-slice
+#: in :func:`make_workload_stream`.
+WORKLOAD_STREAMS: Registry[TraceStream] = Registry("workload stream")
 
 
 def register_workload(name: str, factory: WorkloadFactory) -> None:
@@ -47,6 +78,29 @@ def make_workload(name: str, **kwargs: Any) -> Trace:
     return WORKLOADS.build(name, **kwargs)
 
 
+def register_workload_stream(name: str, factory: WorkloadStreamFactory) -> None:
+    """Register a chunked stream generator under ``name`` (lower-cased)."""
+    WORKLOAD_STREAMS.register(name, factory)
+
+
+def make_workload_stream(
+    name: str, chunk_size: Any = None, **kwargs: Any
+) -> TraceStream:
+    """Build a workload as a lazy :class:`~repro.traffic.stream.TraceStream`.
+
+    Workloads with a registered chunked generator produce each segment from
+    a counter-advanced RNG, bit-identical to :func:`make_workload` with the
+    same arguments for any chunk size.  Workloads without one (currently
+    ``facebook-hadoop``) are materialized once and sliced — the same stream
+    protocol without the memory bound.
+    """
+    size = validate_chunk_size(chunk_size)
+    key = name.lower()
+    if key in WORKLOAD_STREAMS:
+        return WORKLOAD_STREAMS.build(key, chunk_size=size, **kwargs)
+    return TraceStream.from_trace(make_workload(name, **kwargs), chunk_size=size)
+
+
 WORKLOADS.register("uniform", uniform_random_trace)
 WORKLOADS.register("zipf", zipf_pair_trace)
 WORKLOADS.register("hotspot", hotspot_trace)
@@ -55,3 +109,11 @@ WORKLOADS.register("facebook-database", database_trace)
 WORKLOADS.register("facebook-web", web_service_trace)
 WORKLOADS.register("facebook-hadoop", hadoop_trace)
 WORKLOADS.register("microsoft", microsoft_trace)
+
+WORKLOAD_STREAMS.register("uniform", uniform_random_stream)
+WORKLOAD_STREAMS.register("zipf", zipf_pair_stream)
+WORKLOAD_STREAMS.register("hotspot", hotspot_stream)
+WORKLOAD_STREAMS.register("permutation", permutation_stream)
+WORKLOAD_STREAMS.register("facebook-database", database_stream)
+WORKLOAD_STREAMS.register("facebook-web", web_service_stream)
+WORKLOAD_STREAMS.register("microsoft", microsoft_stream)

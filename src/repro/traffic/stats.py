@@ -10,15 +10,16 @@ entropy-based skew measures plus a re-reference measure for burstiness.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Union
 
 import numpy as np
 
 from ..errors import TrafficError
 from ..types import NodePair
 from .base import Trace
+from .stream import TraceStream
 
-__all__ = ["TraceStatistics", "compute_trace_statistics"]
+__all__ = ["TraceStatistics", "TraceStatisticsAccumulator", "compute_trace_statistics"]
 
 
 @dataclass(frozen=True)
@@ -78,16 +79,116 @@ def _share_of_top(counts: np.ndarray, fraction: float) -> float:
     return float(top.sum() / counts.sum())
 
 
-def compute_trace_statistics(trace: Trace, window: int = 64) -> TraceStatistics:
-    """Compute :class:`TraceStatistics` for a trace.
+class TraceStatisticsAccumulator:
+    """Incremental :class:`TraceStatistics` over streamed trace segments.
+
+    Feed contiguous segments in order via :meth:`update`;
+    :meth:`finalize` then returns statistics **bit-identical** to
+    :func:`compute_trace_statistics` on the materialized trace: the pair
+    counts are re-laid-out in the sorted-key order ``np.unique`` would have
+    produced, so the entropy and top-share reductions run over byte-identical
+    arrays, and the integer re-reference tallies stay exact (all partial sums
+    are far below 2^53, where float64 arithmetic is lossless).
+
+    Peak memory is O(distinct pairs), not O(requests).
+    """
+
+    def __init__(self, n_nodes: int, window: int = 64):
+        if n_nodes < 2:
+            raise TrafficError(f"need at least 2 racks, got {n_nodes}")
+        if window < 1:
+            raise TrafficError(f"window must be >= 1, got {window}")
+        self.n_nodes = int(n_nodes)
+        self.window = int(window)
+        self._counts: Dict[int, int] = {}
+        self._last_seen: Dict[int, int] = {}
+        self._n = 0
+        self._within_window = 0
+        self._distance_sum = 0
+        self._seen_before = 0
+
+    @property
+    def n_requests(self) -> int:
+        """Requests accumulated so far."""
+        return self._n
+
+    def update(self, segment: Trace) -> None:
+        """Fold one trace segment (the next contiguous requests) in."""
+        if segment.n_nodes != self.n_nodes:
+            raise TrafficError(
+                f"segment addresses {segment.n_nodes} racks, accumulator "
+                f"was built for {self.n_nodes}"
+            )
+        n = self.n_nodes
+        lo = np.minimum(segment.sources, segment.destinations).astype(np.int64)
+        hi = np.maximum(segment.sources, segment.destinations).astype(np.int64)
+        keys = (lo * n + hi).tolist()
+        counts = self._counts
+        last_seen = self._last_seen
+        window = self.window
+        i = self._n
+        for key in keys:
+            prev = last_seen.get(key)
+            if prev is not None:
+                distance = i - prev
+                self._seen_before += 1
+                self._distance_sum += distance
+                if distance <= window:
+                    self._within_window += 1
+            last_seen[key] = i
+            counts[key] = counts.get(key, 0) + 1
+            i += 1
+        self._n = i
+
+    def finalize(self) -> TraceStatistics:
+        """The statistics of everything accumulated so far."""
+        if self._n == 0:
+            raise TrafficError("cannot compute statistics of an empty trace")
+        # Sorted-key layout reproduces np.unique's output order, so the
+        # float reductions below see the exact arrays the bulk path builds.
+        counts = np.array(
+            [self._counts[k] for k in sorted(self._counts)], dtype=np.int64
+        )
+        probs = counts / counts.sum()
+        entropy = float(-(probs * np.log2(probs)).sum())
+        max_entropy = float(np.log2(len(counts))) if len(counts) > 1 else 1.0
+        return TraceStatistics(
+            n_requests=self._n,
+            n_nodes=self.n_nodes,
+            n_distinct_pairs=int(len(counts)),
+            top1pct_share=_share_of_top(counts, 0.01),
+            top10pct_share=_share_of_top(counts, 0.10),
+            pair_entropy_bits=entropy,
+            normalized_entropy=entropy / max_entropy if max_entropy > 0 else 1.0,
+            rereference_rate=self._within_window / self._n,
+            mean_rereference_distance=(
+                self._distance_sum / self._seen_before
+                if self._seen_before
+                else float("inf")
+            ),
+        )
+
+
+def compute_trace_statistics(
+    trace: Union[Trace, TraceStream], window: int = 64
+) -> TraceStatistics:
+    """Compute :class:`TraceStatistics` for a trace or a trace stream.
 
     Parameters
     ----------
     trace:
-        The trace to analyse.
+        The trace to analyse; a :class:`~repro.traffic.stream.TraceStream`
+        is consumed segment by segment through
+        :class:`TraceStatisticsAccumulator` (bounded memory, bit-identical
+        result).
     window:
         Look-back window (in requests) for the re-reference rate.
     """
+    if isinstance(trace, TraceStream):
+        acc = TraceStatisticsAccumulator(trace.n_nodes, window=window)
+        for segment in trace:
+            acc.update(segment)
+        return acc.finalize()
     if len(trace) == 0:
         raise TrafficError("cannot compute statistics of an empty trace")
     if window < 1:

@@ -15,13 +15,18 @@ import numpy as np
 from ..errors import TrafficError
 from .base import Trace, TraceMetadata
 from .matrix import TrafficMatrix
+from .stream import TraceStream, chunk_bounds, validate_chunk_size
 from .temporal import TemporalModel
 
 __all__ = [
     "uniform_random_trace",
+    "uniform_random_stream",
     "zipf_pair_trace",
+    "zipf_pair_stream",
     "hotspot_trace",
+    "hotspot_stream",
     "permutation_trace",
+    "permutation_stream",
 ]
 
 
@@ -40,6 +45,30 @@ def uniform_random_trace(
     matrix = TrafficMatrix.uniform(n_nodes)
     pairs = matrix.sample_pairs(n_requests, rng)
     return _finalise(pairs, n_nodes, "uniform", seed, n_requests=n_requests)
+
+
+def uniform_random_stream(
+    n_nodes: int, n_requests: int, seed: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> TraceStream:
+    """Chunked :func:`uniform_random_trace` — bit-identical for any chunk size.
+
+    A single persistent generator samples each chunk in sequence, which is
+    exactly how the bulk path consumes the bitstream.
+    """
+    size = validate_chunk_size(chunk_size)
+    meta = TraceMetadata(
+        name="uniform", n_nodes=n_nodes, seed=seed, params={"n_requests": n_requests}
+    )
+
+    def factory():
+        rng = np.random.default_rng(seed)
+        matrix = TrafficMatrix.uniform(n_nodes)
+        for start, stop in chunk_bounds(n_requests, size):
+            pairs = matrix.sample_pairs(stop - start, rng)
+            yield Trace(pairs[:, 0], pairs[:, 1], meta)
+
+    return TraceStream(factory, meta, n_requests=n_requests, chunk_size=size)
 
 
 def zipf_pair_trace(
@@ -70,6 +99,47 @@ def zipf_pair_trace(
         pairs, n_nodes, "zipf", seed,
         n_requests=n_requests, exponent=exponent, repeat_probability=repeat_probability,
     )
+
+
+def zipf_pair_stream(
+    n_nodes: int,
+    n_requests: int,
+    exponent: float = 1.2,
+    repeat_probability: float = 0.0,
+    seed: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> TraceStream:
+    """Chunked :func:`zipf_pair_trace` — bit-identical for any chunk size.
+
+    The rank permutation is a prefix draw replayed at stream start; the
+    temporal model then streams via counter-advanced RNG forks
+    (:meth:`~repro.traffic.temporal.TemporalModel.stream`).
+    """
+    if exponent <= 0:
+        raise TrafficError(f"zipf exponent must be positive, got {exponent}")
+    size = validate_chunk_size(chunk_size)
+    meta = TraceMetadata(
+        name="zipf", n_nodes=n_nodes, seed=seed,
+        params={
+            "n_requests": n_requests, "exponent": exponent,
+            "repeat_probability": repeat_probability,
+        },
+    )
+
+    def factory():
+        rng = np.random.default_rng(seed)
+        n_pairs = n_nodes * (n_nodes - 1) // 2
+        ranks = rng.permutation(n_pairs) + 1
+        weights = ranks.astype(np.float64) ** (-exponent)
+        iu = np.triu_indices(n_nodes, k=1)
+        m = np.zeros((n_nodes, n_nodes))
+        m[iu] = weights
+        matrix = TrafficMatrix(m)
+        model = TemporalModel(repeat_probability=repeat_probability, memory=32)
+        for pairs in model.stream(matrix, n_requests, rng, size):
+            yield Trace(pairs[:, 0], pairs[:, 1], meta)
+
+    return TraceStream(factory, meta, n_requests=n_requests, chunk_size=size)
 
 
 def hotspot_trace(
@@ -105,6 +175,49 @@ def hotspot_trace(
     )
 
 
+def hotspot_stream(
+    n_nodes: int,
+    n_requests: int,
+    n_hot_pairs: int = 8,
+    hot_fraction: float = 0.9,
+    seed: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> TraceStream:
+    """Chunked :func:`hotspot_trace` — bit-identical for any chunk size."""
+    if not (0.0 < hot_fraction < 1.0):
+        raise TrafficError(f"hot_fraction must be in (0, 1), got {hot_fraction}")
+    max_pairs = n_nodes * (n_nodes - 1) // 2
+    if not (1 <= n_hot_pairs <= max_pairs):
+        raise TrafficError(f"n_hot_pairs must be in [1, {max_pairs}], got {n_hot_pairs}")
+    size = validate_chunk_size(chunk_size)
+    meta = TraceMetadata(
+        name="hotspot", n_nodes=n_nodes, seed=seed,
+        params={
+            "n_requests": n_requests, "n_hot_pairs": n_hot_pairs,
+            "hot_fraction": hot_fraction,
+        },
+    )
+
+    def factory():
+        rng = np.random.default_rng(seed)
+        iu = np.triu_indices(n_nodes, k=1)
+        n_pairs = len(iu[0])
+        hot_idx = rng.choice(n_pairs, size=n_hot_pairs, replace=False)
+        weights = np.full(
+            n_pairs,
+            (1.0 - hot_fraction) / (n_pairs - n_hot_pairs) if n_pairs > n_hot_pairs else 0.0,
+        )
+        weights[hot_idx] = hot_fraction / n_hot_pairs
+        m = np.zeros((n_nodes, n_nodes))
+        m[iu] = weights
+        matrix = TrafficMatrix(m)
+        for start, stop in chunk_bounds(n_requests, size):
+            pairs = matrix.sample_pairs(stop - start, rng)
+            yield Trace(pairs[:, 0], pairs[:, 1], meta)
+
+    return TraceStream(factory, meta, n_requests=n_requests, chunk_size=size)
+
+
 def permutation_trace(
     n_nodes: int,
     n_requests: int,
@@ -125,3 +238,30 @@ def permutation_trace(
     idx = rng.integers(0, len(partners), size=n_requests)
     pairs = np.array([partners[i] for i in idx], dtype=np.int32)
     return _finalise(pairs, n_nodes, "permutation", seed, n_requests=n_requests)
+
+
+def permutation_stream(
+    n_nodes: int,
+    n_requests: int,
+    seed: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> TraceStream:
+    """Chunked :func:`permutation_trace` — bit-identical for any chunk size."""
+    if n_nodes < 2:
+        raise TrafficError(f"need at least 2 racks, got {n_nodes}")
+    size = validate_chunk_size(chunk_size)
+    meta = TraceMetadata(
+        name="permutation", n_nodes=n_nodes, seed=seed,
+        params={"n_requests": n_requests},
+    )
+
+    def factory():
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(n_nodes)
+        partners = [(int(perm[i]), int(perm[i + 1])) for i in range(0, n_nodes - 1, 2)]
+        for start, stop in chunk_bounds(n_requests, size):
+            idx = rng.integers(0, len(partners), size=stop - start)
+            pairs = np.array([partners[i] for i in idx], dtype=np.int32)
+            yield Trace(pairs[:, 0], pairs[:, 1], meta)
+
+    return TraceStream(factory, meta, n_requests=n_requests, chunk_size=size)

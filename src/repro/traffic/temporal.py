@@ -18,12 +18,13 @@ recent-history window, otherwise it is a fresh i.i.d. sample from the matrix.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Iterable, List, Optional
+from typing import Deque, Iterable, Iterator, List, Optional
 
 import numpy as np
 
 from ..errors import TrafficError
 from .matrix import TrafficMatrix
+from .stream import fork_generator
 
 __all__ = ["TemporalModel", "interleave_bursts"]
 
@@ -90,6 +91,55 @@ class TemporalModel:
             out[i, 0], out[i, 1] = pair
             history.append(pair)
         return out
+
+    def stream(
+        self,
+        matrix: TrafficMatrix,
+        n_requests: int,
+        rng: np.random.Generator,
+        chunk_size: int,
+    ) -> "Iterator[np.ndarray]":
+        """Yield ``(k, 2)`` pair-array chunks bit-identical to :meth:`generate`.
+
+        :meth:`generate` draws its three bulk phases back to back from one
+        generator — ``n_requests`` doubles for the fresh samples, then
+        ``n_requests`` doubles for the repeat flags, then the repeat picks.
+        Streaming splits those phases onto three counter-advanced forks of
+        ``rng`` (:func:`~repro.traffic.stream.fork_generator` at offsets 0,
+        ``n``, ``2n``), so each chunk draws the exact values the bulk path
+        would have, for any chunk size.  ``rng`` itself is left untouched;
+        only the history deque and the global request index carry state
+        across chunks.
+        """
+        if n_requests < 0:
+            raise TrafficError(f"n_requests must be non-negative, got {n_requests}")
+        if chunk_size < 1:
+            raise TrafficError(f"chunk_size must be >= 1, got {chunk_size}")
+        if n_requests == 0:
+            return
+        fresh_rng = fork_generator(rng, 0)
+        flags_rng = fork_generator(rng, n_requests)
+        picks_rng = fork_generator(rng, 2 * n_requests)
+        history: Deque[tuple[int, int]] = deque(maxlen=self.memory)
+        for start in range(0, n_requests, chunk_size):
+            stop = min(start + chunk_size, n_requests)
+            k = stop - start
+            fresh = matrix.sample_pairs(k, fresh_rng)
+            repeat_flags = flags_rng.random(k) < self.repeat_probability
+            repeat_picks = picks_rng.integers(0, self.memory, size=k)
+            out = np.empty((k, 2), dtype=np.int32)
+            for j in range(k):
+                i = start + j
+                if self.drift_interval and i > 0 and i % self.drift_interval == 0:
+                    history.clear()
+                if repeat_flags[j] and history:
+                    pick = repeat_picks[j] % len(history)
+                    pair = history[pick]
+                else:
+                    pair = (int(fresh[j, 0]), int(fresh[j, 1]))
+                out[j, 0], out[j, 1] = pair
+                history.append(pair)
+            yield out
 
 
 def interleave_bursts(

@@ -249,3 +249,133 @@ class TestRunSimulation:
         result = run_simulation(algo, uniform_trace)
         assert result.total_routing_cost == pytest.approx(2.0 * len(uniform_trace))
         assert result.total_reconfiguration_cost == 0.0
+
+
+from repro.experiments.observers import SimulationObserver
+
+
+class TestEngineCheckpointOverrideValidation:
+    """The engine re-validates explicit positions at resolution time.
+
+    ``SimulationConfig.__post_init__`` validates at construction, but configs
+    doctored after the fact (or deserialised by other code) reach the engine
+    unchecked — ``_validate_checkpoint_override`` must reject them with a
+    clear :class:`SimulationError` instead of silently truncating or looping.
+    """
+
+    def _validate(self, positions):
+        from repro.simulation.engine import _validate_checkpoint_override
+
+        return _validate_checkpoint_override(positions)
+
+    def test_accepts_integral_values_of_any_numeric_dtype(self):
+        assert self._validate((1, 5, 9)).tolist() == [1, 5, 9]
+        assert self._validate([10.0, 20.0]).tolist() == [10, 20]
+        assert self._validate(np.array([3, 7], dtype=np.uint16)).tolist() == [3, 7]
+
+    def test_rejects_non_integral_floats_instead_of_truncating(self):
+        with pytest.raises(SimulationError, match="refusing to silently truncate"):
+            self._validate((5, 10.7))
+        with pytest.raises(SimulationError, match="refusing to silently truncate"):
+            self._validate((float("nan"),))
+
+    def test_rejects_positions_below_one(self):
+        with pytest.raises(SimulationError, match=">= 1"):
+            self._validate((0, 5))
+        with pytest.raises(SimulationError, match=">= 1"):
+            self._validate((-3, 5))
+
+    def test_rejects_non_increasing_positions(self):
+        with pytest.raises(SimulationError, match="strictly increasing"):
+            self._validate((3, 3, 5))
+        with pytest.raises(SimulationError, match="strictly increasing"):
+            self._validate((9, 4))
+
+    def test_rejects_empty_and_multidimensional(self):
+        with pytest.raises(SimulationError, match="non-empty 1-D"):
+            self._validate(())
+        with pytest.raises(SimulationError, match="non-empty 1-D"):
+            self._validate([[1, 2], [3, 4]])
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(SimulationError, match="must be integers"):
+            self._validate(("one", "two"))
+
+    def test_doctored_config_fails_at_run_time_not_silently(self, small_leafspine):
+        """A config whose positions bypassed __post_init__ still fails loudly."""
+        config = SimulationConfig(checkpoint_positions=(5, 10))
+        object.__setattr__(config, "checkpoint_positions", (5, 10.7))
+        trace = zipf_pair_trace(n_nodes=8, n_requests=40, seed=3)
+        algo = RBMA(small_leafspine, MatchingConfig(b=2, alpha=4), rng=1)
+        with pytest.raises(SimulationError, match="refusing to silently truncate"):
+            run_simulation(algo, trace, config)
+
+
+class _BatchRecorder(SimulationObserver):
+    """Records the (start, stop) of every batch and when on_end fires."""
+
+    def __init__(self, batch_interval=None):
+        self.batch_interval = batch_interval
+        self.batches = []
+        self.ended_after = None
+
+    def on_request_batch(self, context, start, stop):
+        self.batches.append((start, stop))
+
+    def on_end(self, context, result):
+        self.ended_after = list(self.batches)
+
+
+class TestObserverBatchTiling:
+    """Observers see every request exactly once before on_end (tail flush).
+
+    Regression for the trailing-batch gap: with explicit checkpoints ending
+    before the trace end (or a batch interval not dividing the length), the
+    final partial batch must still be delivered before ``on_end``.
+    """
+
+    def _run(self, n_requests, config, batch_interval=None, stream_chunk=None):
+        from repro.traffic.stream import TraceStream
+
+        trace = zipf_pair_trace(n_nodes=8, n_requests=n_requests, seed=3)
+        from repro.topology import LeafSpineTopology
+
+        algo = RBMA(LeafSpineTopology(n_racks=8), MatchingConfig(b=2, alpha=4), rng=1)
+        recorder = _BatchRecorder(batch_interval=batch_interval)
+        source = (
+            trace if stream_chunk is None
+            else TraceStream.from_trace(trace, chunk_size=stream_chunk)
+        )
+        run_simulation(algo, source, config, observers=[recorder])
+        return recorder
+
+    def _assert_tiles(self, recorder, n_requests):
+        batches = recorder.batches
+        assert batches, "observer saw no batches"
+        assert batches[0][0] == 0
+        for (_, stop), (start, _) in zip(batches, batches[1:]):
+            assert start == stop, f"gap or overlap in batches: {batches}"
+        assert batches[-1][1] == n_requests
+        assert recorder.ended_after == batches, "on_end fired before the tail flush"
+
+    @pytest.mark.parametrize("backend", ["fast", "reference"])
+    def test_early_checkpoints_still_flush_the_tail(self, backend):
+        config = SimulationConfig(
+            checkpoint_positions=(5, 10), matching_backend=backend
+        )
+        recorder = self._run(40, config)
+        self._assert_tiles(recorder, 40)
+
+    @pytest.mark.parametrize("backend", ["fast", "reference"])
+    def test_partial_final_interval_is_delivered(self, backend):
+        config = SimulationConfig(checkpoints=3, matching_backend=backend)
+        recorder = self._run(40, config, batch_interval=7)
+        self._assert_tiles(recorder, 40)
+
+    @pytest.mark.parametrize("chunk", [7, 16, 100])
+    def test_streamed_replay_tiles_identically(self, chunk):
+        config = SimulationConfig(checkpoint_positions=(5, 10), matching_backend="fast")
+        recorder = self._run(40, config, stream_chunk=chunk)
+        self._assert_tiles(recorder, 40)
+        materialized = self._run(40, config)
+        assert recorder.batches[-1][1] == materialized.batches[-1][1] == 40

@@ -100,3 +100,54 @@ class TestAccess:
         assert isinstance(trace.sources, np.ndarray)
         np.testing.assert_array_equal(trace.sources, [0, 1, 2, 3])
         np.testing.assert_array_equal(trace.destinations, [1, 2, 3, 4])
+
+
+class TestGlobalTimestamps:
+    """Sliced segments keep *global* request timestamps.
+
+    Regression: slices used to rebuild timestamps from the segment-local
+    index, so a batched or streamed segment saw different timestamps than
+    the reference per-request path — any timestamp-sensitive algorithm
+    diverged between the replay paths.
+    """
+
+    def _trace(self, n=20):
+        return Trace.from_pairs([(i % 5, (i % 5) + 1) for i in range(n)], n_nodes=6)
+
+    def test_full_trace_timestamps_are_indices(self):
+        trace = self._trace()
+        assert [r.timestamp for r in trace.requests()] == [float(i) for i in range(20)]
+
+    def test_slice_carries_global_timestamps(self):
+        trace = self._trace()
+        segment = trace[7:15]
+        assert segment.offset == 7
+        assert [r.timestamp for r in segment.requests()] == [
+            float(7 + j) for j in range(8)
+        ]
+        assert segment[0].timestamp == 7.0
+        assert segment[-1].timestamp == 14.0
+
+    def test_nested_slices_compose_offsets(self):
+        trace = self._trace()
+        nested = trace[4:18][3:8]
+        assert nested.offset == 7
+        assert [r.timestamp for r in nested.requests()] == [
+            float(4 + 3 + j) for j in range(5)
+        ]
+
+    def test_with_offset_rebases(self):
+        trace = self._trace(5)
+        rebased = trace.with_offset(100)
+        assert rebased.offset == 100
+        assert [r.timestamp for r in rebased.requests()] == [
+            100.0, 101.0, 102.0, 103.0, 104.0
+        ]
+        # the original is untouched, and rebasing to the same offset is a no-op
+        assert trace.offset == 0
+        assert trace.with_offset(0) is trace
+
+    def test_negative_offset_rejected(self):
+        trace = self._trace(5)
+        with pytest.raises(TrafficError, match="non-negative"):
+            trace.with_offset(-1)
