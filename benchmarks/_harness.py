@@ -62,6 +62,15 @@ FIGURE_SETTINGS = {
     "fig4": ("microsoft", 50, 1_750_000, (3, 6, 9)),
 }
 
+#: Per-algorithm rows timed by :func:`kernel_benchmark` on the fig1 workload:
+#: the randomized/expert algorithms whose batched drive paths (steady-pair
+#: paging scan, hybrid expert-stepping scan) are not exercised by the
+#: rbma/bma figure panels.  Values are the algorithm's extra spec params.
+ALGORITHM_BENCH_SETTINGS: Dict[str, Dict[str, object]] = {
+    "uniform": {},
+    "hybrid": {"period": 200, "window": 400},
+}
+
 #: Reconfiguration cost used throughout the benchmarks.  The paper does not
 #: fix a value but requires α ≥ ℓ_max (= 4 on a fat tree); 15 keeps that
 #: property while still letting the online algorithms amortise
@@ -224,6 +233,79 @@ def run_figure_panel(figure: str) -> Dict[str, AggregateResult]:
     )
 
 
+def _algorithm_spec(name: str, matching_backend: Optional[str] = None) -> ExperimentSpec:
+    """One seeded spec for a per-algorithm kernel row (fig1 workload)."""
+    workload, n_racks, full_requests, b_values = FIGURE_SETTINGS["fig1"]
+    simulation: Dict[str, object] = {"checkpoints": 10}
+    if matching_backend is not None:
+        simulation["matching_backend"] = matching_backend
+    return ExperimentSpec(
+        algorithm={"name": name, "b": b_values[1], "alpha": DEFAULT_ALPHA,
+                   "params": dict(ALGORITHM_BENCH_SETTINGS[name])},
+        traffic={"name": workload,
+                 "params": {"n_nodes": n_racks,
+                            "n_requests": scaled_requests(full_requests)}},
+        simulation=simulation,
+        seed=2023,
+    )
+
+
+def _algorithm_rows(rounds: int, numba_active: bool) -> Dict[str, Dict[str, object]]:
+    """Per-algorithm reference/fast/numba timings with bit-identity gates.
+
+    Same honest-recording contract as the figure arms: every arm must
+    reproduce the reference arm's totals exactly before any timing is
+    written (randomized draws are mode-consistent across backends by the
+    rng tier's differential tests, so totals agree bit-for-bit), and the
+    numba arm is timed only where the compiled backend is genuinely
+    active.  Each row records the effective ``rng_kernel`` the run drew
+    under, read back from the run's own provenance.
+    """
+    from repro.simulation.runner import execute_experiment_spec
+
+    rows: Dict[str, Dict[str, object]] = {}
+    for name in ALGORITHM_BENCH_SETTINGS:
+        timings: Dict[str, float] = {}
+        totals: Dict[str, tuple] = {}
+        rng_kernel: Optional[str] = None
+        arms = [("reference", "reference"), ("fast", "fast")]
+        if numba_active:
+            arms.append(("numba", "numba"))
+        for _round in range(max(1, rounds)):
+            for arm, backend in arms:
+                spec = _algorithm_spec(name, matching_backend=backend)
+                started = time.perf_counter()
+                result = execute_experiment_spec(spec, store=False)
+                elapsed = time.perf_counter() - started
+                timings[arm] = min(elapsed, timings.get(arm, elapsed))
+                totals[arm] = (
+                    result.total_routing_cost,
+                    result.total_reconfiguration_cost,
+                    result.matched_fraction,
+                    tuple(result.series.routing_cost.tolist()),
+                )
+                rng_kernel = result.extra.get("rng_kernel", rng_kernel)
+        for arm, _backend in arms[1:]:
+            if totals[arm] != totals["reference"]:
+                raise RuntimeError(
+                    f"{name}: {arm} arm disagrees with the reference kernel on "
+                    "costs; run tests/test_rng_counter.py and the differential "
+                    "test suite"
+                )
+        row: Dict[str, object] = {
+            "reference_seconds": round(timings["reference"], 4),
+            "fast_seconds": round(timings["fast"], 4),
+            "speedup": round(timings["reference"] / timings["fast"], 3),
+            "numba_active": numba_active,
+            "rng_kernel": rng_kernel,
+        }
+        if numba_active:
+            row["numba_seconds"] = round(timings["numba"], 4)
+            row["numba_speedup"] = round(timings["fast"] / timings["numba"], 3)
+        rows[name] = row
+    return rows
+
+
 def kernel_benchmark(
     figures: Sequence[str] = ("fig1", "fig2", "fig3", "fig4"),
     output_path: Optional[Path] = None,
@@ -314,6 +396,9 @@ def kernel_benchmark(
                 timings["reference"] / timings["numba"], 3
             )
         report[figure] = row
+
+    from repro.core.rng import resolve_rng_mode
+
     payload = {
         "description": "Wall-clock seconds per figure panel: reference kernel "
         "(per-request replay over BMatching) vs fast kernel (FastBMatching + "
@@ -322,13 +407,20 @@ def kernel_benchmark(
         "specs/seeds and bit-identical costs. numba_speedup = fast_seconds "
         "/ numba_seconds; numba_active=false means the host had no compiled "
         "backend, not that it measured slow. parallel_efficiency = "
-        "(fast_seconds / parallel_seconds) / parallel_workers.",
+        "(fast_seconds / parallel_seconds) / parallel_workers. The "
+        "'algorithms' section times the randomized/expert algorithms "
+        "(uniform paging, hybrid expert combiner) per backend on the fig1 "
+        "workload — the rows whose batched drive paths the figure panels "
+        "do not reach; rng_mode is the effective randomness kernel every "
+        "randomized arm drew under.",
         "scale": bench_scale(),
         "repetitions": bench_repetitions(),
         "workers": workers,
         "numba_active": numba_active,
+        "rng_mode": resolve_rng_mode(None),
         "store": _store_provenance(),
         "figures": report,
+        "algorithms": _algorithm_rows(rounds, numba_active),
     }
     path = KERNEL_BENCH_PATH if output_path is None else Path(output_path)
     path.write_text(json.dumps(payload, indent=2) + "\n")
@@ -372,6 +464,7 @@ def solver_benchmark(
 
     from repro.experiments.specs import spawn_seeds
     from repro.matching import iterated_max_weight_b_matching, solver_cache_clear
+    from repro.matching.blossom import max_weight_matching_arrays
     from repro.matching.numba_bmatching import numba_backend_active
     from repro.simulation.runner import execute_experiment_spec
 
@@ -436,6 +529,20 @@ def solver_benchmark(
                         "backends; refusing to record timings"
                     )
 
+            # --- blossom-substage arm: the single-round solve with the
+            # compiled delta-scan/dual-update substage vs the pure loop,
+            # gated on bit-identity of the returned matchings.  On hosts
+            # without numba the "compiled" leg runs the same staged code as
+            # plain Python (numba_solver_active below records which one was
+            # measured).
+            blossom_edges = [(u, v, w) for (u, v), w in weights.items()]
+            if max_weight_matching_arrays(n, blossom_edges) != \
+                    max_weight_matching_arrays(n, blossom_edges, compiled=True):
+                raise RuntimeError(
+                    f"{figure}: compiled blossom substage disagrees with the "
+                    "pure solver; run tests/test_solver_backends.py"
+                )
+
             # --- timing arms, interleaved, best-of-N.
             timings: Dict[str, float] = {}
             for _round in range(max(1, rounds)):
@@ -453,6 +560,12 @@ def solver_benchmark(
                     iterated_max_weight_b_matching(weights, n, b, backend="array")
                 elapsed = time.perf_counter() - started
                 timings["array"] = min(elapsed, timings.get("array", elapsed))
+                for arm, compiled in (("blossom_pure", False),
+                                      ("blossom_substage", True)):
+                    started = time.perf_counter()
+                    max_weight_matching_arrays(n, blossom_edges, compiled=compiled)
+                    elapsed = time.perf_counter() - started
+                    timings[arm] = min(elapsed, timings.get(arm, elapsed))
 
             report[figure] = {
                 "b_values": list(b_values),
@@ -465,6 +578,11 @@ def solver_benchmark(
                 "speedup": round(timings["nx"] / timings["array"], 3),
                 "blossom_rounds_nx": int(_np.sum(b_values)),
                 "blossom_rounds_array": int(max(b_values)),
+                "blossom_pure_seconds": round(timings["blossom_pure"], 4),
+                "blossom_substage_seconds": round(timings["blossom_substage"], 4),
+                "substage_speedup": round(
+                    timings["blossom_pure"] / timings["blossom_substage"], 3
+                ),
                 "so_bma_routing_cost": run_costs["array"],
             }
     finally:
@@ -484,10 +602,15 @@ def solver_benchmark(
         "array_seconds = the default tier with demand-fingerprint "
         "memoisation and prefix-shared rounds, started cold (max(b_values) "
         "rounds).  speedup = nx_seconds / array_seconds; kernel_speedup = "
-        "nx_seconds / array_kernel_seconds.  Timings are recorded only "
-        "after asserting that both backends return identical matchings for "
-        "every b and bit-identical SO-BMA figure costs end-to-end "
-        "(so_bma_routing_cost).",
+        "nx_seconds / array_kernel_seconds.  blossom_pure_seconds / "
+        "blossom_substage_seconds time one single-round max-weight solve on "
+        "the panel demand without and with the compiled delta-scan/"
+        "dual-update substage (numba_solver_active says whether the "
+        "substage genuinely compiled or ran its pure-Python staging).  "
+        "Timings are recorded only after asserting that both backends "
+        "return identical matchings for every b, that the substage leg "
+        "reproduces the pure solve exactly, and bit-identical SO-BMA "
+        "figure costs end-to-end (so_bma_routing_cost).",
         "scale": bench_scale(),
         "rounds": rounds,
         "numba_solver_active": numba_backend_active(),

@@ -22,25 +22,41 @@ import sys
 import _harness as harness
 
 
+def _numba_col(row) -> str:
+    if row.get("numba_active"):
+        return (
+            f"numba {row['numba_seconds']:7.3f}s "
+            f"({row['numba_speedup']:5.2f}x vs fast)   "
+        )
+    return "numba     n/a (backend inactive)   "
+
+
 def _report(figures) -> dict:
     report = harness.kernel_benchmark(figures=tuple(figures))
     width = max(len(f) for f in report)
     print(f"\nkernel A/B/C (written to {harness.KERNEL_BENCH_PATH}):")
     for figure, row in report.items():
-        if row.get("numba_active"):
-            numba_col = (
-                f"numba {row['numba_seconds']:7.3f}s "
-                f"({row['numba_speedup']:5.2f}x vs fast)   "
-            )
-        else:
-            numba_col = "numba     n/a (backend inactive)   "
         print(
             f"  {figure:<{width}}  reference {row['reference_seconds']:7.3f}s   "
             f"fast {row['fast_seconds']:7.3f}s ({row['speedup']:5.2f}x)   "
-            f"{numba_col}"
+            f"{_numba_col(row)}"
             f"parallel[{row['parallel_workers']}w] {row['parallel_seconds']:7.3f}s "
             f"({row['parallel_speedup']:5.2f}x more, eff {row['parallel_efficiency']:.2f}, "
             f"{row['total_speedup']:5.2f}x total)"
+        )
+    # The per-algorithm rows (uniform paging scan, hybrid expert-stepping
+    # scan) live in the same JSON payload, next to the figure panels.
+    import json
+
+    algorithms = json.loads(harness.KERNEL_BENCH_PATH.read_text())["algorithms"]
+    awidth = max(len(a) for a in algorithms)
+    print("per-algorithm drive paths (fig1 workload):")
+    for name, row in algorithms.items():
+        print(
+            f"  {name:<{awidth}}  reference {row['reference_seconds']:7.3f}s   "
+            f"fast {row['fast_seconds']:7.3f}s ({row['speedup']:5.2f}x)   "
+            f"{_numba_col(row)}"
+            f"rng {row['rng_kernel']}"
         )
     return report
 

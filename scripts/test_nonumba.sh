@@ -12,7 +12,12 @@
 #     pinning matching_backend="numba" stay green without numba;
 #   * the static solver tier (tests/test_solver_backends.py) runs with the
 #     same mask, so the solver_backend="numba" -> "array" fallback and the
-#     nx/array differential harness are certified on numba-less hosts too.
+#     nx/array differential harness are certified on numba-less hosts too;
+#   * the rng tier (tests/test_rng_counter.py) runs with the mask, so the
+#     pure-integer Philox pipeline (whose body compiles under numba) stays
+#     bit-identical to NumPy when it executes as plain numpy arithmetic,
+#     and the numba drive-path legs of the mode differential certify the
+#     fallback for both rng modes.
 # Extra pytest arguments are passed through.
 set -eu
 cd "$(dirname "$0")/.."
@@ -23,4 +28,5 @@ REPRO_NO_NUMBA=1 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
     tests/test_serve_batch_degenerate.py \
     tests/test_regression_pins.py \
     tests/test_solver_backends.py \
+    tests/test_rng_counter.py \
     "$@"

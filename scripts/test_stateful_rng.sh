@@ -1,0 +1,28 @@
+#!/bin/sh
+# stateful-rng CI tier: run the randomness-sensitive suites with the legacy
+# stateful rng mode forced (REPRO_RNG_MODE=stateful, honoured by
+# repro.core.rng.resolve_rng_mode for every config that leaves rng_mode
+# unpinned), certifying that the pre-counter draw path stays a first-class
+# citizen now that "counter" is the library default:
+#   * the rng tier (tests/test_rng_counter.py) — its mode-differential
+#     matrix pins stateful self-consistency across request-by-request,
+#     batched, and streamed replay, and its env test asserts this very knob
+#     resolves identically to rng_mode="stateful";
+#   * the golden pins — the stateful legs replay the pre-counter pins
+#     byte-identically by construction, and the counter legs pin their mode
+#     explicitly, so they must be immune to the env default;
+#   * the streaming tier — chunk-invariance of randomized replay must hold
+#     under carried-generator forking just as it does for counter draws.
+# Extra pytest arguments are passed through.
+set -eu
+cd "$(dirname "$0")/.."
+REPRO_RNG_MODE=stateful PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    exec python -m pytest -q \
+    tests/test_rng_counter.py \
+    tests/test_regression_pins.py \
+    tests/test_streaming_engine.py \
+    tests/test_core_uniform.py \
+    tests/test_core_rbma.py \
+    tests/test_paging_marking.py \
+    tests/test_paging_policies.py \
+    "$@"

@@ -43,12 +43,23 @@ class MatchingConfig:
         warning when numba is missing or masked).  All backends produce
         identical matchings; ``None`` means the library default.  Only
         algorithms that run a static solve (SO-BMA) read this.
+    rng_mode:
+        How randomized algorithms (R-BMA's marking pager, the ``uniform``
+        and ``hybrid`` paging layers) draw their randomness: ``"counter"``
+        (the default — a counter-based Philox draw that is a pure function
+        of ``(root_seed, stream_id, request_index, draw_counter)``, so
+        replay is RNG-stateless and the batch loops can compile) or
+        ``"stateful"`` (the legacy carried-state ``numpy.random.Generator``,
+        kept as the reference; golden pins are recorded in this mode).
+        ``None`` means the library default (overridable per process via
+        ``REPRO_RNG_MODE``).  Deterministic algorithms ignore this.
     """
 
     b: int
     alpha: float = 1.0
     a: Optional[int] = None
     solver_backend: Optional[str] = None
+    rng_mode: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.b < 1:
@@ -63,6 +74,10 @@ class MatchingConfig:
 
             # Raises ConfigurationError with "did you mean ...?" suggestions.
             SOLVER_BACKENDS.resolve(self.solver_backend)
+        if self.rng_mode is not None:
+            from .core.rng import RNG_MODES  # local import: config loads first
+
+            RNG_MODES.resolve(self.rng_mode)
 
     @property
     def effective_a(self) -> int:
@@ -77,6 +92,10 @@ class MatchingConfig:
         """Plain-dict form suitable for JSON serialisation."""
         d = asdict(self)
         d["a"] = self.effective_a
+        # Emitted only when pinned, so pre-rng_mode serialisations (and any
+        # byte-identity expectations on them) are unchanged.
+        if d.get("rng_mode") is None:
+            del d["rng_mode"]
         return d
 
 

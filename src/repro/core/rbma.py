@@ -54,6 +54,7 @@ class RBMA(OnlineBMatchingAlgorithm):
 
     name = "rbma"
     supports_batch = True
+    uses_rng = True
 
     def __init__(
         self,
@@ -66,7 +67,7 @@ class RBMA(OnlineBMatchingAlgorithm):
         super().__init__(topology, config, rng)
         self._paging_policy = paging_policy
         self._factory = paging_factory or make_paging_factory(paging_policy)
-        self._matcher = PerNodePagingMatcher(self.matching, self._factory, self.rng)
+        self._matcher = PerNodePagingMatcher(self.matching, self._factory, self._paging_rng())
         # Per-pair request counters driving the Theorem 1 filter, keyed by the
         # int-encoded canonical pair (u * n + v) so the batched replay loop
         # never builds tuples for filtered requests.  On the numba backend
@@ -274,7 +275,7 @@ class RBMA(OnlineBMatchingAlgorithm):
             self.matched_requests = int(matched)
 
     def _reset_policy_state(self) -> None:
-        self._matcher = PerNodePagingMatcher(self.matching, self._factory, self.rng)
+        self._matcher = PerNodePagingMatcher(self.matching, self._factory, self._paging_rng())
         self._counters.clear()
         self._configure_counter_store()
 

@@ -71,6 +71,58 @@ def _scan_slacks(adj_edges, lo, hi, eu, ev, ew, dualvar, out):  # pragma: no cov
         out[idx - lo] = dualvar[eu[k]] + dualvar[ev[k]] - 2.0 * ew[k]
 
 
+@njit(cache=True)
+def _delta12_scan(vlab, bek, eu, ev, ew, dualvar, maxcardinality):  # pragma: no cover
+    """delta1 + delta2 of the dual-update substage, over staged arrays.
+
+    ``vlab[v]`` is the label of ``v``'s top-level blossom (0 when free) and
+    ``bek[v]`` the edge id of ``bestedge[v]`` (-1 when absent), staged by
+    the driver right before the scan; labels and best edges do not change
+    between the scan and the dual update, so one staging pass serves both
+    kernels.  delta1 keeps the *first* minimum vertex dual (strict ``<``,
+    like the builtin ``min``); delta2's slack is the same expression
+    :func:`_scan_slacks` evaluates, over the same float64 values, and also
+    keeps the first minimum — so the selected ``(deltatype, delta,
+    vertex)`` is bit-identical to the scalar loops.  Returns ``(deltatype,
+    delta, best_v)`` with ``best_v`` the delta2 vertex or -1.
+    """
+    n = dualvar.shape[0]
+    deltatype = -1
+    delta = 0.0
+    best_v = -1
+    if maxcardinality == 0:
+        deltatype = 1
+        delta = dualvar[0]
+        for v in range(1, n):
+            if dualvar[v] < delta:
+                delta = dualvar[v]
+    for v in range(n):
+        if vlab[v] == 0 and bek[v] >= 0:
+            k = bek[v]
+            d = dualvar[eu[k]] + dualvar[ev[k]] - 2.0 * ew[k]
+            if deltatype == -1 or d < delta:
+                delta = d
+                deltatype = 2
+                best_v = v
+    return deltatype, delta, best_v
+
+
+@njit(cache=True)
+def _apply_delta(vlab, dualvar, delta):  # pragma: no cover
+    """The substage's vertex dual update: S-vertices pay delta, T-vertices gain.
+
+    Same staged labels as :func:`_delta12_scan`; the arithmetic is the
+    scalar loop's ``dualvar[v] -= delta`` / ``+= delta`` on the same
+    float64 values, so the updated duals are bit-identical.
+    """
+    n = dualvar.shape[0]
+    for v in range(n):
+        if vlab[v] == 1:
+            dualvar[v] -= delta
+        elif vlab[v] == 2:
+            dualvar[v] += delta
+
+
 def max_weight_matching_arrays(
     n_nodes: int,
     edges: Sequence[Tuple[int, int, float]],
@@ -153,6 +205,9 @@ def max_weight_matching_arrays(
             adj_edges[adj_start[v] : adj_start[v] + len(ids)] = ids
         slack_buffer = np.empty(int(adj_lens.max()) if nedge else 1, dtype=np.float64)
         dualvar = np.full(n, float(maxweight), dtype=np.float64)
+        # Per-substage staging for the compiled delta scan / dual update.
+        vlab_buffer = np.zeros(n, dtype=np.int64)
+        bek_buffer = np.empty(n, dtype=np.int64)
     else:
         # dualvar[v] = 2 * u(v); starting at maxweight keeps integer weights
         # in integer arithmetic throughout, exactly as NetworkX does.
@@ -602,19 +657,40 @@ def max_weight_matching_arrays(
             deltatype = -1
             delta = deltaedge = deltablossom = None
 
-            # delta1: the minimum value of any vertex dual.
-            if not maxcardinality:
-                deltatype = 1
-                delta = min(dualvar)
+            if compiled:
+                # Stage per-vertex top-blossom labels and best-edge ids once;
+                # they do not change until after the dual update, so the same
+                # arrays also drive _apply_delta below.
+                for v in range(n):
+                    t = label.get(inblossom[v])
+                    vlab_buffer[v] = 0 if t is None else t
+                    be = bestedge.get(v)
+                    bek_buffer[v] = -1 if be is None else be[2]
+                # delta1 + delta2 in one compiled scan.
+                deltatype, delta_c, best_v = _delta12_scan(
+                    vlab_buffer, bek_buffer, eu_np, ev_np, ew_np, dualvar,
+                    1 if maxcardinality else 0,
+                )
+                deltatype = int(deltatype)
+                if deltatype != -1:
+                    delta = delta_c
+                if best_v >= 0:
+                    deltaedge = bestedge[int(best_v)]
+            else:
+                # delta1: the minimum value of any vertex dual.
+                if not maxcardinality:
+                    deltatype = 1
+                    delta = min(dualvar)
 
-            # delta2: minimum slack on any edge from an S-vertex to a free one.
-            for v in range(n):
-                if label.get(inblossom[v]) is None and bestedge.get(v) is not None:
-                    d = slack(bestedge[v][2])
-                    if deltatype == -1 or d < delta:
-                        delta = d
-                        deltatype = 2
-                        deltaedge = bestedge[v]
+                # delta2: minimum slack on any edge from an S-vertex to a
+                # free one.
+                for v in range(n):
+                    if label.get(inblossom[v]) is None and bestedge.get(v) is not None:
+                        d = slack(bestedge[v][2])
+                        if deltatype == -1 or d < delta:
+                            delta = d
+                            deltatype = 2
+                            deltaedge = bestedge[v]
 
             # delta3: half the minimum slack between a pair of S-blossoms.
             for b in blossomparent:
@@ -652,12 +728,17 @@ def max_weight_matching_arrays(
                 delta = max(0, min(dualvar))
 
             # Update dual variables according to delta.
-            for v in range(n):
-                vlabel = label.get(inblossom[v])
-                if vlabel == 1:
-                    dualvar[v] -= delta
-                elif vlabel == 2:
-                    dualvar[v] += delta
+            if compiled:
+                # Labels have not changed since staging; the scalar loop's
+                # -=/+= on the same float64 values, compiled.
+                _apply_delta(vlab_buffer, dualvar, float(delta))
+            else:
+                for v in range(n):
+                    vlabel = label.get(inblossom[v])
+                    if vlabel == 1:
+                        dualvar[v] -= delta
+                    elif vlabel == 2:
+                        dualvar[v] += delta
             for b in blossomdual:
                 if blossomparent[b] is None:
                     if label.get(b) == 1:

@@ -48,13 +48,24 @@ algorithms, is exactly what the ``@njit`` scan kernels below operate on:
 * :func:`lut_diff` — the full edge-set diff HybridBMA needs on (rare)
   expert-switch steps, over two membership LUTs, in ascending (= canonical
   sorted) key order.
+* :func:`paging_steady_scan` — the uniform algorithm's steady-state loop:
+  serves runs of requests whose pair is certified *steady* by the matcher's
+  LUT (cached and marked at both endpoints, matched — a pure cost update
+  that consumes no randomness in either rng mode), returning to Python at
+  the first request that can change paging or matching state.
+* :func:`hybrid_scan` — HybridBMA's expert-stepping loop: advances both
+  virtual experts through requests that provably change no matching
+  (robust non-special, predictive non-reconfiguring, no switch), returning
+  to Python at the first *event* request.
 
 The drivers in :mod:`repro.core` call these only when the algorithm's
 matching actually is a :class:`NumbaBMatching` (detected via
 :attr:`NumbaBMatching.member_lut`), so the ``"fast"`` and ``"reference"``
-backends are untouched.  Randomness never crosses into compiled code: every
-RNG-consuming step (paging evictions) stays in Python, which is what makes
-the backend bit-identical to the other two by design and by test.
+backends are untouched.  RNG *state* never crosses into compiled code:
+every eviction draw stays in Python (stateful mode) or is a pure function
+of its draw index (counter mode, :mod:`repro.core.rng`), and the scans only
+ever cover requests that consume no draws — which is what makes the
+backend bit-identical to the other two by design and by test.
 """
 
 from __future__ import annotations
@@ -72,7 +83,9 @@ __all__ = [
     "bma_reset_counters",
     "bma_scan",
     "bma_select_victim",
+    "hybrid_scan",
     "lut_diff",
+    "paging_steady_scan",
     "rbma_scan",
     "warmup_kernels",
 ]
@@ -299,6 +312,109 @@ def lut_diff(current, target):
     return removed, added
 
 
+@njit(cache=False)
+def paging_steady_scan(keys, steady, start, routing, served, matched):
+    """Advance the uniform algorithm through *steady* requests.
+
+    ``steady[key] == 1`` certifies (see
+    :class:`~repro.core.uniform.PerNodePagingMatcher`) that the pair is
+    cached and marked at both endpoints' pagers and is a matching edge, so
+    serving it is exactly ``routing += 1.0; served += 1; matched += 1`` —
+    a matched hit with no evictions, no reconfiguration, and no draws.
+    Returns ``(index, routing, served, matched)`` with ``index`` the first
+    non-steady request (handled by the Python driver through the full
+    paging machinery) or ``len(keys)`` when the segment ends.
+    """
+    n_requests = keys.shape[0]
+    i = start
+    while i < n_requests:
+        if steady[keys[i]] == 0:
+            break
+        routing += 1.0
+        served += 1
+        matched += 1
+        i += 1
+    return i, routing, served, matched
+
+
+@njit(cache=False)
+def hybrid_scan(
+    keys, lengths, rthresh, rcounters, rmember, pmember, member,
+    follow_robust, factor, period, p_since,
+    r_routing, r_reconf, r_served, r_matched,
+    p_routing, p_reconf, p_served, p_matched,
+    routing, served, matched, start,
+):
+    """Advance HybridBMA's experts until the next *event* request.
+
+    A request is an event — and is left entirely to the Python driver —
+    when it is a robust special request (Theorem 1 counter about to reach
+    its threshold), a predictive reconfiguration step (period about to
+    elapse), or a switch step (the followed expert's post-request total
+    cost would exceed ``factor * max(other, 1.0)``).  Every other request
+    changes no matching in any of the three algorithms, so the kernel can
+    commit it wholesale: bump the robust pair counter, pay both experts'
+    and the combiner's routing costs in the exact per-request order of the
+    pure loop, and advance the predictive period position.  (Predictor
+    *observations* for committed requests are replayed by the driver via
+    ``observe_batch``, which is bit-exact by contract, before the event's
+    own serve.)
+
+    Returns ``(index, r_routing, r_served, r_matched, p_routing, p_served,
+    p_matched, p_since, routing, served, matched)`` with ``index`` the
+    event position or ``len(keys)``.
+    """
+    n_requests = keys.shape[0]
+    i = start
+    while i < n_requests:
+        key = keys[i]
+        length = lengths[i]
+        if rcounters[key] + 1 >= rthresh[i]:
+            break
+        if p_since + 1 >= period:
+            break
+        if rmember[key]:
+            r_step = 1.0
+        else:
+            r_step = length
+        if pmember[key]:
+            p_step = 1.0
+        else:
+            p_step = length
+        if follow_robust == 1:
+            f_total = r_routing + r_step + r_reconf
+            o_total = p_routing + p_step + p_reconf
+        else:
+            f_total = p_routing + p_step + p_reconf
+            o_total = r_routing + r_step + r_reconf
+        if o_total < 1.0:
+            o_total = 1.0
+        if f_total > factor * o_total:
+            break
+        rcounters[key] = rcounters[key] + 1
+        r_routing = r_routing + r_step
+        r_served += 1
+        if rmember[key]:
+            r_matched += 1
+        p_routing = p_routing + p_step
+        p_served += 1
+        if pmember[key]:
+            p_matched += 1
+        p_since += 1
+        if member[key]:
+            routing = routing + 1.0
+            matched += 1
+        else:
+            routing = routing + length
+        served += 1
+        i += 1
+    return (
+        i, r_routing, r_served, r_matched,
+        p_routing, p_served, p_matched, p_since,
+        routing, served, matched,
+    )
+
+
 def warmup_kernels() -> bool:
     """Force-compile every scan kernel on a tiny input; returns whether numba ran.
 
@@ -319,4 +435,13 @@ def warmup_kernels() -> bool:
     bma_select_victim(0, 2, member, usefulness, inserted)
     bma_reset_counters(0, 2, member, counter)
     lut_diff(member, member)
+    steady = np.zeros(4, dtype=np.uint8)
+    paging_steady_scan(keys, steady, 0, 0.0, 0, 0)
+    hybrid_scan(
+        keys, lengths, thresholds, counters, member, member, member,
+        1, 2.0, 10, 0,
+        0.0, 0.0, 0, 0,
+        0.0, 0.0, 0, 0,
+        0.0, 0, 0, 0,
+    )
     return NUMBA_AVAILABLE

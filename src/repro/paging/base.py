@@ -18,12 +18,44 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Iterable, Optional, Tuple
 
-from ..errors import PagingError
+import numpy as np
 
-__all__ = ["PagingResult", "PagingAlgorithm", "EvictionCallback"]
+from ..errors import ConfigurationError, PagingError
+
+__all__ = ["PagingResult", "PagingAlgorithm", "EvictionCallback", "coerce_paging_rng"]
 
 #: Callback invoked with every evicted page (used by R-BMA for lazy removal).
 EvictionCallback = Callable[[Hashable], None]
+
+
+def coerce_paging_rng(rng):
+    """Validate a paging ``rng=`` argument into its mode-specific form.
+
+    Returns ``(generator, counter)`` where exactly one is non-``None``:
+
+    * a :class:`~repro.core.rng.CounterRNG` selects counter mode — draws are
+      pure functions of a per-draw index, no carried state;
+    * a :class:`numpy.random.Generator` selects stateful mode as-is;
+    * ``None`` or an integer seed builds a stateful ``default_rng(seed)``
+      (the legacy behaviour).
+
+    Anything else — a float, a string, a foreign RNG object — raises
+    :class:`~repro.errors.ConfigurationError` instead of being silently fed
+    to ``default_rng`` (where e.g. a bool would "work" and quietly change
+    the stream).
+    """
+    from ..core.rng import CounterRNG  # local import: core imports paging
+
+    if isinstance(rng, CounterRNG):
+        return None, rng
+    if isinstance(rng, np.random.Generator):
+        return rng, None
+    if rng is None or (isinstance(rng, (int, np.integer)) and not isinstance(rng, bool)):
+        return np.random.default_rng(rng), None
+    raise ConfigurationError(
+        f"paging rng must be None, an int seed, a numpy Generator, or a "
+        f"CounterRNG; got {type(rng).__name__}: {rng!r}"
+    )
 
 
 @dataclass(frozen=True, slots=True)

@@ -19,7 +19,7 @@ from typing import Hashable, Optional
 
 import numpy as np
 
-from .base import PagingAlgorithm
+from .base import PagingAlgorithm, coerce_paging_rng
 
 __all__ = ["RandomizedMarking"]
 
@@ -32,13 +32,17 @@ class RandomizedMarking(PagingAlgorithm):
     capacity:
         Cache size ``k`` (the matching degree bound ``b`` in the reduction).
     rng:
-        Numpy random generator or seed; pass a seeded generator for
-        reproducible simulations.
+        ``None``, an int seed, a numpy generator (stateful mode), or a
+        :class:`~repro.core.rng.CounterRNG` (counter mode: every eviction
+        draw is a pure function of its draw index, so replay needs no
+        generator-state bookkeeping).  Anything else raises
+        :class:`~repro.errors.ConfigurationError`.
     """
 
     def __init__(self, capacity: int, rng: Optional[np.random.Generator | int] = None):
         super().__init__(capacity)
-        self._rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self._rng, self._crng = coerce_paging_rng(rng)
+        self._draw_index = 0
         self._marked: set[Hashable] = set()
         self._phase_count = 0
 
@@ -73,7 +77,11 @@ class RandomizedMarking(PagingAlgorithm):
         # Pages are small hashable values (node-pair tuples), so set iteration
         # order is deterministic for a given request history; a uniform index
         # into that order keeps runs reproducible without sorting.
-        idx = int(self._rng.integers(len(unmarked)))
+        if self._crng is not None:
+            idx = self._crng.integers(len(unmarked), self._draw_index)
+            self._draw_index += 1
+        else:
+            idx = int(self._rng.integers(len(unmarked)))
         return unmarked[idx]
 
     def _on_hit(self, page: Hashable) -> None:
@@ -88,3 +96,4 @@ class RandomizedMarking(PagingAlgorithm):
     def _on_reset(self) -> None:
         self._marked.clear()
         self._phase_count = 0
+        self._draw_index = 0

@@ -13,19 +13,34 @@ from typing import Hashable, Optional
 
 import numpy as np
 
-from .base import PagingAlgorithm
+from .base import PagingAlgorithm, coerce_paging_rng
 
 __all__ = ["RandomEvictionPaging"]
 
 
 class RandomEvictionPaging(PagingAlgorithm):
-    """Evict a uniformly random cached page."""
+    """Evict a uniformly random cached page.
+
+    ``rng`` follows the same contract as
+    :class:`~repro.paging.marking.RandomizedMarking`: ``None``/int seed/
+    numpy generator for stateful mode, a
+    :class:`~repro.core.rng.CounterRNG` for counter mode; anything else
+    raises :class:`~repro.errors.ConfigurationError`.
+    """
 
     def __init__(self, capacity: int, rng: Optional[np.random.Generator | int] = None):
         super().__init__(capacity)
-        self._rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self._rng, self._crng = coerce_paging_rng(rng)
+        self._draw_index = 0
 
     def _evict_victim(self) -> Hashable:
         candidates = sorted(self._cache, key=repr)
-        idx = int(self._rng.integers(len(candidates)))
+        if self._crng is not None:
+            idx = self._crng.integers(len(candidates), self._draw_index)
+            self._draw_index += 1
+        else:
+            idx = int(self._rng.integers(len(candidates)))
         return candidates[idx]
+
+    def _on_reset(self) -> None:
+        self._draw_index = 0

@@ -218,6 +218,12 @@ def _assemble_result(
     solver_provenance = getattr(algorithm, "solver_provenance", None)
     if solver_provenance:
         extra.update(solver_provenance)
+    # RNG-mode provenance (randomized algorithms only): the rng_mode the
+    # config requested (None when the library default applied) and the mode
+    # that actually ran.  Deterministic algorithms record nothing.
+    rng_provenance = getattr(algorithm, "rng_provenance", None)
+    if rng_provenance:
+        extra.update(rng_provenance)
     if config.collect_matching_history:
         extra["matching_history"] = matching_history
     return RunResult(

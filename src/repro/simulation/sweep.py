@@ -95,6 +95,7 @@ def run_sweep(
     n_workers: int = 1,
     observers: Iterable[SimulationObserver] = (),
     solver_backend: Optional[str] = None,
+    rng_mode: Optional[str] = None,
     store=None,
     streaming: bool = False,
     chunk_size: Optional[int] = None,
@@ -125,6 +126,9 @@ def run_sweep(
         the demand-fingerprint memo in
         :mod:`repro.matching.static_solver` solves ``max(b_values)`` blossom
         rounds once instead of re-solving every prefix per ``b``.
+    rng_mode:
+        Randomness kernel for randomized configurations (``None`` = library
+        default; see :data:`repro.core.rng.RNG_MODES`).
     store:
         Run-store policy, forwarded to :func:`run_experiments` (``None``
         defers to ``REPRO_RUN_STORE``, ``False`` forces cold runs).
@@ -138,7 +142,8 @@ def run_sweep(
     base = ExperimentSpec(
         algorithm={"name": sweep.algorithms[0], "b": int(sweep.b_values[0]),
                    "alpha": float(sweep.alpha_values[0]),
-                   "solver_backend": solver_backend},
+                   "solver_backend": solver_backend,
+                   "rng_mode": rng_mode},
         traffic={"name": workload, "params": dict(workload_kwargs or {}),
                  "streaming": streaming, "chunk_size": chunk_size},
         topology={"name": topology, "params": dict(topology_kwargs or {})},

@@ -25,7 +25,8 @@ the storage key.  The fingerprint contract:
   compiled kernel is genuinely active.  Results are bit-identical across
   that divide by design, but wall-clock provenance is not, so the store
   keeps the runs distinguishable.  The same applies to SO-BMA's static
-  solver backend.
+  solver backend, and — for randomized algorithms, where the two modes
+  draw genuinely different randomness — to the effective ``rng_mode``.
 
 Fingerprints are hex blake2b digests (160 bits), stable across processes,
 platforms, and Python versions for a given :data:`SCHEMA_VERSION`.
@@ -101,6 +102,14 @@ def effective_kernels(spec: ExperimentSpec) -> Dict[str, str]:
             kernels["solver_kernel"] = resolve_solver_backend(
                 spec.algorithm.solver_backend
             )
+    # RNG-mode provenance (randomized algorithms only): counter and stateful
+    # runs draw different randomness, so they must never share a store cell.
+    # Deterministic algorithms carry no key — flipping the rng default
+    # cannot invalidate their cached runs.
+    if getattr(factory, "uses_rng", False):
+        from ..core.rng import resolve_rng_mode  # local: registries load late
+
+        kernels["rng_kernel"] = resolve_rng_mode(spec.algorithm.rng_mode)
     return kernels
 
 

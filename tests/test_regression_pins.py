@@ -11,8 +11,14 @@ registered algorithm (randomized ones under a pinned seed) on a committed
 800-request trace: total costs, matching counters, and the checkpoint series
 are pinned in ``tests/data/golden/golden_pins.json`` for every matching
 backend (reference, fast, and numba), so any kernel or replay-path change
-that alters observable results fails loudly here.  To regenerate the pins after an *intentional* behaviour
-change, run with ``REPRO_REGEN_GOLDEN=1`` and commit the updated JSON.
+that alters observable results fails loudly here.
+
+Randomized algorithms are pinned under *both* rng modes: the legacy
+``"stateful"`` mode must reproduce the pre-counter ``pins`` byte-identically
+(the mode exists precisely so old results stay reachable), while the
+``"counter"`` default pins its own ``pins_counter`` section.  To regenerate
+the pins after an *intentional* behaviour change, run with
+``REPRO_REGEN_GOLDEN=1`` and commit the updated JSON.
 """
 
 import json
@@ -131,14 +137,20 @@ def _load_golden():
 
 GOLDEN_TRACE, GOLDEN = _load_golden()
 GOLDEN_ALGORITHMS = sorted(GOLDEN["pins"])
+#: Algorithms whose serve path draws randomness; only these get a second,
+#: counter-mode pin (deterministic algorithms cannot depend on the rng mode).
+RANDOMIZED_GOLDEN = sorted(
+    name for name in GOLDEN_ALGORITHMS
+    if getattr(ALGORITHMS.resolve(name), "uses_rng", False)
+)
 
 
-def _run_golden(algorithm: str, backend: str):
+def _run_golden(algorithm: str, backend: str, rng_mode=None):
     topology = LeafSpineTopology(n_racks=GOLDEN_TRACE.n_nodes)
     algo = ALGORITHMS.build(
         algorithm,
         topology,
-        MatchingConfig(b=GOLDEN["b"], alpha=GOLDEN["alpha"]),
+        MatchingConfig(b=GOLDEN["b"], alpha=GOLDEN["alpha"], rng_mode=rng_mode),
         GOLDEN["algorithm_seed"],
         **GOLDEN["algorithm_params"].get(algorithm, {}),
     )
@@ -172,10 +184,14 @@ def test_golden_trace_pins(algorithm, backend, monkeypatch):
     code path even on hosts without numba (compiled where available);
     under the nonumba CI tier (``REPRO_NO_NUMBA=1``) it instead pins the
     numba->fast fallback, which must hit the same goldens by definition.
+
+    The ``pins`` section predates the counter rng: it is pinned under
+    ``rng_mode="stateful"``, certifying that the legacy mode still
+    reproduces every pre-counter result byte-identically.
     """
     if backend == "numba":
         monkeypatch.setenv("REPRO_NUMBA_PUREPY", "1")
-    observed = _run_golden(algorithm, backend)
+    observed = _run_golden(algorithm, backend, rng_mode="stateful")
     if os.environ.get("REPRO_REGEN_GOLDEN") == "1":  # pragma: no cover
         GOLDEN["pins"][algorithm] = observed
         with open(GOLDEN_DIR / "golden_pins.json", "w") as fh:
@@ -184,4 +200,27 @@ def test_golden_trace_pins(algorithm, backend, monkeypatch):
     assert observed == GOLDEN["pins"][algorithm], (
         f"{algorithm} ({backend} backend) drifted from its golden pin; if the "
         "change is intentional, regenerate with REPRO_REGEN_GOLDEN=1"
+    )
+
+
+@pytest.mark.parametrize("backend", ["reference", "fast", "numba"])
+@pytest.mark.parametrize("algorithm", RANDOMIZED_GOLDEN)
+def test_golden_trace_pins_counter(algorithm, backend, monkeypatch):
+    """Counter-mode (the default) pins for the randomized algorithms.
+
+    Counter draws are keyed Philox functions of the request index, so they
+    legitimately differ from the stateful sequence; this pins the new
+    default so counter-mode drift fails just as loudly.
+    """
+    if backend == "numba":
+        monkeypatch.setenv("REPRO_NUMBA_PUREPY", "1")
+    observed = _run_golden(algorithm, backend, rng_mode="counter")
+    if os.environ.get("REPRO_REGEN_GOLDEN") == "1":  # pragma: no cover
+        GOLDEN.setdefault("pins_counter", {})[algorithm] = observed
+        with open(GOLDEN_DIR / "golden_pins.json", "w") as fh:
+            json.dump(GOLDEN, fh, indent=1)
+        pytest.skip("regenerated golden pins")
+    assert observed == GOLDEN["pins_counter"][algorithm], (
+        f"{algorithm} ({backend} backend, counter rng) drifted from its golden "
+        "pin; if the change is intentional, regenerate with REPRO_REGEN_GOLDEN=1"
     )

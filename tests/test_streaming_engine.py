@@ -55,6 +55,10 @@ def _load_golden():
 
 GOLDEN_TRACE, GOLDEN = _load_golden()
 GOLDEN_ALGORITHMS = sorted(GOLDEN["pins"])
+RANDOMIZED_GOLDEN = sorted(
+    name for name in GOLDEN_ALGORITHMS
+    if getattr(ALGORITHMS.resolve(name), "uses_rng", False)
+)
 
 #: Chunk sizes chosen to straddle the golden run's checkpoint positions:
 #: 1 splits at every request, 7 and 173 land mid-interval around every
@@ -63,12 +67,12 @@ GOLDEN_ALGORITHMS = sorted(GOLDEN["pins"])
 CHUNK_SIZES = (7, 173, 799, 4096)
 
 
-def _build_golden_algorithm(algorithm: str):
+def _build_golden_algorithm(algorithm: str, rng_mode=None):
     topology = LeafSpineTopology(n_racks=GOLDEN_TRACE.n_nodes)
     return ALGORITHMS.build(
         algorithm,
         topology,
-        MatchingConfig(b=GOLDEN["b"], alpha=GOLDEN["alpha"]),
+        MatchingConfig(b=GOLDEN["b"], alpha=GOLDEN["alpha"], rng_mode=rng_mode),
         GOLDEN["algorithm_seed"],
         **GOLDEN["algorithm_params"].get(algorithm, {}),
     )
@@ -146,13 +150,11 @@ def test_streaming_differential_numba_kernel(algorithm, monkeypatch):
     assert_bit_identical(streamed, materialized)
 
 
-@pytest.mark.parametrize("algorithm", GOLDEN_ALGORITHMS)
-def test_golden_pins_hold_under_streaming(algorithm):
-    """The committed golden pins are reproduced exactly from a stream."""
-    algo = _build_golden_algorithm(algorithm)
+def _streamed_pin(algorithm, rng_mode):
+    algo = _build_golden_algorithm(algorithm, rng_mode=rng_mode)
     stream = TraceStream.from_trace(GOLDEN_TRACE, chunk_size=173)
     result = run_simulation(algo, stream, _golden_config("fast"))
-    observed = {
+    return {
         "total_routing_cost": result.total_routing_cost,
         "total_reconfiguration_cost": result.total_reconfiguration_cost,
         "matched_fraction": result.matched_fraction,
@@ -160,7 +162,44 @@ def test_golden_pins_hold_under_streaming(algorithm):
         "removals": algo.matching.removals,
         "checkpoint_routing": result.series.routing_cost.tolist(),
     }
-    assert observed == GOLDEN["pins"][algorithm]
+
+
+@pytest.mark.parametrize("algorithm", GOLDEN_ALGORITHMS)
+def test_golden_pins_hold_under_streaming(algorithm):
+    """The committed golden pins are reproduced exactly from a stream.
+
+    The ``pins`` section predates the counter rng, so it is replayed under
+    ``rng_mode="stateful"`` (the mode that produced it).
+    """
+    assert _streamed_pin(algorithm, "stateful") == GOLDEN["pins"][algorithm]
+
+
+@pytest.mark.parametrize("algorithm", RANDOMIZED_GOLDEN)
+def test_counter_golden_pins_hold_under_streaming(algorithm):
+    """The counter-mode pins are reproduced exactly from a stream too."""
+    assert _streamed_pin(algorithm, "counter") == GOLDEN["pins_counter"][algorithm]
+
+
+@pytest.mark.parametrize("rng_mode", ["stateful", "counter"])
+@pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+@pytest.mark.parametrize("algorithm", RANDOMIZED_GOLDEN)
+def test_streaming_randomized_rng_mode_differential(algorithm, rng_mode, chunk_size):
+    """Randomized replay is chunk-invariant in *both* rng modes.
+
+    In counter mode this holds with zero generator-fork bookkeeping: every
+    eviction draw is a pure function of (seed, stream, request index, draw
+    index), so where the segment boundaries fall cannot matter.
+    """
+    materialized = run_simulation(
+        _build_golden_algorithm(algorithm, rng_mode=rng_mode),
+        GOLDEN_TRACE, _golden_config("fast"),
+    )
+    streamed = run_simulation(
+        _build_golden_algorithm(algorithm, rng_mode=rng_mode),
+        TraceStream.from_trace(GOLDEN_TRACE, chunk_size=chunk_size),
+        _golden_config("fast"),
+    )
+    assert_bit_identical(streamed, materialized)
 
 
 def test_validation_observer_streams_identically():
