@@ -94,6 +94,20 @@ def build_parser() -> argparse.ArgumentParser:
                             "stateful (legacy sequential generator)")
         add_stream_flags(p)
         add_store_flags(p)
+        add_exec_flags(p)
+
+    def add_exec_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="worker count (default: the REPRO_WORKERS "
+                            "environment variable, else 1)")
+        p.add_argument("--backend", default=None,
+                       choices=["serial", "pool", "queue"],
+                       help="scheduler backend (default: serial for one "
+                            "worker, pool otherwise)")
+        p.add_argument("--queue-dir", default=None, metavar="DIR",
+                       help="work-queue directory for --backend queue "
+                            "(temporary when omitted; point independent "
+                            "`repro worker DIR` processes at it to help)")
 
     def add_stream_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument("--stream", action="store_true",
@@ -119,14 +133,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--repeats", type=int, default=None,
                        help="override the spec's repeat count")
     p_run.add_argument("--seed", type=int, default=None, help="override the spec's base seed")
-    p_run.add_argument("--workers", type=int, default=1,
-                       help="process-pool size for the repetitions")
     p_run.add_argument("--progress", action="store_true",
                        help="print per-checkpoint progress (observer-based)")
     p_run.add_argument("--out", default=None,
                        help="write the spec, per-run results, and aggregate as JSON")
     add_stream_flags(p_run)
     add_store_flags(p_run)
+    add_exec_flags(p_run)
 
     p_sim = sub.add_parser("simulate", help="run one algorithm on one workload")
     add_common(p_sim)
@@ -149,7 +162,6 @@ def build_parser() -> argparse.ArgumentParser:
                        help="reconfiguration costs to sweep over (default: --alpha)")
     p_swp.add_argument("--algorithms", nargs="+", default=["rbma", "bma", "oblivious"],
                        help="algorithm names to sweep")
-    p_swp.add_argument("--workers", type=int, default=1, help="process-pool size")
 
     p_gen = sub.add_parser("generate-trace", help="generate a workload and save it as CSV")
     p_gen.add_argument("--workload", default="facebook-database")
@@ -164,6 +176,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available algorithms, workloads, topologies, "
                                 "and paging policies")
+
+    p_wrk = sub.add_parser("worker", help="drain tasks from a work-queue directory "
+                                          "(see --backend queue)")
+    p_wrk.add_argument("queue_dir", help="queue directory created by a "
+                                         "--backend queue run")
+    p_wrk.add_argument("--worker-id", default=None,
+                       help="stable worker name (default: worker-<pid>)")
+    p_wrk.add_argument("--poll-interval", type=float, default=None, metavar="SECONDS",
+                       help="sleep between claim attempts when the queue is busy")
+    p_wrk.add_argument("--max-tasks", type=int, default=None, metavar="N",
+                       help="exit after completing N tasks")
+    p_wrk.add_argument("--keep-alive", action="store_true",
+                       help="keep polling after the queue drains (until a stop "
+                            "is requested) instead of exiting")
 
     p_runs = sub.add_parser("runs", help="inspect and maintain the persistent run store")
     p_runs.add_argument("--store", default=None, metavar="DIR",
@@ -187,6 +213,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="delete entries last written more than this many days ago")
     r_gc.add_argument("--dry-run", action="store_true",
                       help="report what would be deleted without touching disk")
+    r_exp = runs_sub.add_parser(
+        "export", help="pack every stored run into a portable tarball")
+    r_exp.add_argument("tarball", help="output .tar.gz path")
+    r_imp = runs_sub.add_parser(
+        "import", help="merge a tarball exported elsewhere into this store "
+                       "(identical-or-error on fingerprint conflicts)")
+    r_imp.add_argument("tarball", help="tarball written by `repro runs export`")
     return parser
 
 
@@ -231,7 +264,12 @@ def _store_arg(args: argparse.Namespace):
 def _run_specs(args: argparse.Namespace, algorithms: Sequence[str]):
     runner = ExperimentRunner(repetitions=args.repetitions, base_seed=args.seed,
                               store=_store_arg(args))
-    return runner.compare_on_shared_trace(_build_specs(args, algorithms))
+    return runner.compare_on_shared_trace(
+        _build_specs(args, algorithms),
+        n_workers=args.workers,
+        backend=args.backend,
+        queue_dir=args.queue_dir,
+    )
 
 
 def _load_spec(path: str) -> ExperimentSpec:
@@ -273,11 +311,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     # disabled downstream, hence the False fallback.
     run_store = resolve_store(_store_arg(args))
     store_policy = run_store if run_store is not None else False
-    if args.workers > 1:
+    from .exec import resolve_backend_name, resolve_worker_count
+
+    workers = resolve_worker_count(args.workers, fallback=1)
+    backend = resolve_backend_name(args.backend, workers)
+    if backend != "serial":
         if args.progress:
-            print("note: --progress is unavailable with --workers > 1 "
+            print("note: --progress is unavailable off the serial backend "
                   "(observers do not cross process boundaries)", file=sys.stderr)
-        runs = run_specs_parallel(singles, n_workers=args.workers, store=store_policy)
+        runs = run_specs_parallel(singles, n_workers=workers, store=store_policy,
+                                  backend=backend, queue_dir=args.queue_dir)
     else:
         runs = [execute_experiment_spec(s, observers=observers, store=store_policy)
                 for s in singles]
@@ -348,6 +391,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         store=_store_arg(args),
         streaming=streaming,
         chunk_size=chunk_size,
+        backend=args.backend,
+        queue_dir=args.queue_dir,
     )
     # Label collisions would silently drop rows: disambiguate by alpha when
     # more than one alpha value is swept.
@@ -491,17 +536,60 @@ def _cmd_runs_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_runs_export(args: argparse.Namespace) -> int:
+    from .store.transfer import export_store
+
+    store = _require_store(args)
+    summary = export_store(store, args.tarball)
+    print(f"exported {summary['exported']} entr"
+          f"{'y' if summary['exported'] == 1 else 'ies'} "
+          f"from {store.root} to {summary['path']}")
+    for name in summary["skipped"]:
+        print(f"  skipped unreadable entry file {name}", file=sys.stderr)
+    return 0
+
+
+def _cmd_runs_import(args: argparse.Namespace) -> int:
+    from .store.transfer import import_store
+
+    store = _require_store(args)
+    summary = import_store(store, args.tarball)
+    print(f"imported {summary['imported']} new entr"
+          f"{'y' if summary['imported'] == 1 else 'ies'} into {store.root} "
+          f"({summary['merged']} histor"
+          f"{'y' if summary['merged'] == 1 else 'ies'} merged, "
+          f"{summary['unchanged']} unchanged)")
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .exec import run_worker
+
+    stats = run_worker(
+        args.queue_dir,
+        worker_id=args.worker_id,
+        poll_interval=args.poll_interval,
+        max_tasks=args.max_tasks,
+        keep_alive=args.keep_alive,
+    )
+    print(f"worker {stats['worker']}: {stats['completed']} task(s) completed, "
+          f"{stats['failed_attempts']} failed attempt(s)")
+    return 0
+
+
 _RUNS_COMMANDS = {
     "list": _cmd_runs_list,
     "show": _cmd_runs_show,
     "stats": _cmd_runs_stats,
     "gc": _cmd_runs_gc,
+    "export": _cmd_runs_export,
+    "import": _cmd_runs_import,
 }
 
 
 def _cmd_runs(args: argparse.Namespace) -> int:
     if args.runs_command is None:
-        print("usage: repro runs [--store DIR] {list,show,stats,gc}")
+        print("usage: repro runs [--store DIR] {list,show,stats,gc,export,import}")
         return 0
     return _RUNS_COMMANDS[args.runs_command](args)
 
@@ -523,6 +611,7 @@ _COMMANDS = {
     "analyze-trace": _cmd_analyze_trace,
     "list": _cmd_list,
     "runs": _cmd_runs,
+    "worker": _cmd_worker,
 }
 
 

@@ -82,6 +82,8 @@ __all__ = [
     "exact_max_weight_b_matching",
     "solver_cache_info",
     "solver_cache_clear",
+    "export_solver_rounds",
+    "import_solver_rounds",
 ]
 
 
@@ -406,6 +408,88 @@ def solve_b_rounds(
     for k, chosen in enumerate(results, start=1):
         check_b_matching(chosen, n_nodes, k)
     return results
+
+
+def export_solver_rounds(
+    weights: Mapping[NodePair, float],
+    n_nodes: int,
+    b_max: int,
+    backend: Optional[str] = None,
+) -> Dict[str, object]:
+    """Solve ``b_max`` rounds and return a JSON-safe snapshot of the memo state.
+
+    The payload carries everything :func:`import_solver_rounds` needs to seed
+    another process's solver memo: the demand fingerprint (insertion order
+    included, since it is the tie-breaking order), the per-round incremental
+    matchings, and the residual weights *in insertion order* so further
+    rounds extend identically.  An execution planner can therefore solve the
+    shared SO-BMA demand once in the parent and ship the rounds to every
+    worker, instead of each per-process memo re-solving the same aggregate.
+    """
+    if b_max < 1:
+        raise SolverError(f"b_max must be >= 1, got {b_max}")
+    effective = resolve_solver_backend(backend)
+    canon = _validated_canonical_weights(weights, n_nodes)
+    state = _sweep_state(weights, n_nodes, effective)
+    _extend_state(state, b_max, effective, n_nodes)
+    rounds: List[List[List[int]]] = []
+    prev: Set[NodePair] = set()
+    for union in state.cumulative:
+        rounds.append(sorted([int(u), int(v)] for u, v in union - prev))
+        prev = union
+    return {
+        "version": 1,
+        "backend": effective,
+        "n_nodes": int(n_nodes),
+        "fingerprint": _demand_fingerprint(canon, n_nodes),
+        "rounds": rounds,
+        "remaining": [[int(u), int(v), float(w)] for (u, v), w in state.remaining.items()],
+        "exhausted": bool(state.exhausted),
+    }
+
+
+def import_solver_rounds(payload: Mapping[str, object]) -> bool:
+    """Seed the solver memo from an :func:`export_solver_rounds` payload.
+
+    Returns ``True`` when the memo was seeded, ``False`` when the import was
+    skipped — memoisation disabled (``REPRO_SOLVER_CACHE=0``), or an existing
+    entry already holds at least as many solved rounds.  After a successful
+    import, solving the same demand on the same backend is a pure cache hit
+    up to the exported ``b``; larger ``b`` values extend from the shipped
+    residual weights exactly as the exporting process would have.
+    """
+    if _cache_limit() == 0:
+        return False
+    if payload.get("version") != 1:
+        raise SolverError(
+            f"unsupported solver-rounds payload version: {payload.get('version')!r}"
+        )
+    backend = str(payload["backend"])
+    n_nodes = int(payload["n_nodes"])  # type: ignore[arg-type]
+    key = (backend, n_nodes, str(payload["fingerprint"]))
+    rounds = payload["rounds"]
+    existing = _SOLVE_CACHE.get(key)
+    if existing is not None and len(existing.cumulative) >= len(rounds):  # type: ignore[arg-type]
+        _SOLVE_CACHE.move_to_end(key)
+        return False
+    cumulative: List[Set[NodePair]] = []
+    union: Set[NodePair] = set()
+    for round_pairs in rounds:  # type: ignore[union-attr]
+        union = set(union)
+        union.update((int(u), int(v)) for u, v in round_pairs)
+        cumulative.append(union)
+    remaining: Dict[NodePair, float] = {
+        (int(u), int(v)): float(w) for u, v, w in payload["remaining"]  # type: ignore[union-attr]
+    }
+    _SOLVE_CACHE[key] = _SweepState(
+        remaining=remaining, cumulative=cumulative, exhausted=bool(payload["exhausted"])
+    )
+    _SOLVE_CACHE.move_to_end(key)
+    limit = _cache_limit()
+    while len(_SOLVE_CACHE) > limit:
+        _SOLVE_CACHE.popitem(last=False)
+        _CACHE_STATS["evictions"] += 1
+    return True
 
 
 def exact_max_weight_b_matching(

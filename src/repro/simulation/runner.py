@@ -32,7 +32,7 @@ from ..store.fingerprint import fingerprint_spec
 from ..store.run_store import RunStore, resolve_store
 from ..traffic.base import Trace
 from ..traffic.stream import TraceStream
-from .engine import StreamingSimulation, run_simulation
+from .engine import run_simulation
 from .results import AggregateResult, RunResult, aggregate_runs
 
 __all__ = [
@@ -280,42 +280,82 @@ class ExperimentRunner:
         ]
         return aggregate_runs(runs)
 
-    def run_many(
-        self, specs: Sequence[AnySpec], n_workers: int = 1
-    ) -> List[AggregateResult]:
-        """Run several configurations, optionally sharded over worker processes.
+    def _execute_grid(
+        self,
+        experiments: Sequence[ExperimentSpec],
+        n_workers: Optional[int],
+        backend: Optional[str],
+        queue_dir: Optional[str],
+    ) -> List[RunResult]:
+        """Plan and execute the repetition-major (seed × spec) grid.
 
-        With ``n_workers > 1`` the individual (spec × repetition) runs are
-        distributed over a process pool via
-        :func:`~repro.simulation.parallel.run_specs_parallel`; results are
-        bit-identical to sequential execution (each worker rebuilds its
-        trace deterministically from the spec) but observers are not shipped
-        to pool workers.
+        The shared engine behind :meth:`run_many` and
+        :meth:`compare_on_shared_trace`: builds an
+        :class:`~repro.exec.plan.ExecutionPlan` (store hits served before
+        dispatch, specs sharing a workload and seed grouped into one task,
+        offline SO-BMA demand pre-solved once) and runs it on the resolved
+        scheduler backend.  Observers ride along only on the serial
+        backend — they cannot cross a process boundary — matching the
+        long-standing pool semantics.
         """
-        if n_workers <= 1:
-            return [self.run(spec) for spec in specs]
-        from .parallel import run_specs_parallel  # local: avoid import cycle
+        from ..exec import (
+            build_execution_plan,
+            execute_plan,
+            resolve_backend_name,
+            resolve_worker_count,
+        )
 
-        experiments = [as_experiment_spec(spec) for spec in specs]
+        workers = resolve_worker_count(n_workers, fallback=1)
+        name = resolve_backend_name(backend, workers)
         seeds = self.repetition_seeds()
-        # Repetition-major, like compare_on_shared_trace: specs sharing a
-        # workload and a repetition seed land consecutively, so chunked
-        # dispatch serves them from one per-worker trace build.
+        # Repetition-major: specs sharing a workload and a repetition seed
+        # land consecutively, grouping into one shared-trace task.
         grid = [
             experiment.with_seed(seed)
             for seed in seeds
             for experiment in experiments
         ]
-        flat = run_specs_parallel(grid, n_workers=n_workers, store=self.store)
+        plan = build_execution_plan(
+            grid,
+            store=self.store,
+            observers=self.observers if name == "serial" else (),
+        )
+        return execute_plan(plan, backend=name, n_workers=workers, queue_dir=queue_dir)
+
+    def run_many(
+        self,
+        specs: Sequence[AnySpec],
+        n_workers: Optional[int] = None,
+        backend: Optional[str] = None,
+        queue_dir: Optional[str] = None,
+    ) -> List[AggregateResult]:
+        """Run several configurations, optionally sharded over a scheduler backend.
+
+        With ``n_workers > 1`` (or an explicit ``backend``) the individual
+        (spec × repetition) runs are distributed by
+        :func:`~repro.exec.scheduler.execute_plan`; results are
+        bit-identical to sequential execution (each worker rebuilds its
+        trace deterministically from the spec) but observers are not shipped
+        off the serial backend.
+        """
+        if not specs:
+            return []
+        experiments = [as_experiment_spec(spec) for spec in specs]
+        flat = self._execute_grid(experiments, n_workers, backend, queue_dir)
+        n_seeds = self.repetitions
         return [
             aggregate_runs(
-                [flat[r * len(experiments) + i] for r in range(len(seeds))]
+                [flat[r * len(experiments) + i] for r in range(n_seeds)]
             )
             for i in range(len(experiments))
         ]
 
     def compare_on_shared_trace(
-        self, specs: Sequence[AnySpec], n_workers: int = 1
+        self,
+        specs: Sequence[AnySpec],
+        n_workers: Optional[int] = None,
+        backend: Optional[str] = None,
+        queue_dir: Optional[str] = None,
     ) -> Dict[str, AggregateResult]:
         """Run several algorithm specs on the *same* generated workloads.
 
@@ -333,13 +373,15 @@ class ExperimentRunner:
         process are pure cache hits.  Pool workers hold their own per-process
         memo, so sharded runs stay bit-identical to sequential ones.
 
-        With ``n_workers > 1`` the (repetition × spec) grid is sharded over
-        a process pool.  Workers rebuild the repetition's trace
+        With ``n_workers > 1`` (or an explicit ``backend``) the
+        (repetition × spec) grid is sharded over a scheduler backend
+        (``"pool"`` or ``"queue"``).  Workers rebuild the repetition's trace
         deterministically from their spec (the trace seed is spawned from
         the repetition seed alone, so every spec of a repetition regenerates
         the *same* workload, cached per worker process); costs are therefore
-        bit-identical to sequential execution.  Observers are not shipped to
-        pool workers, matching :func:`~repro.simulation.sweep.run_experiments`.
+        bit-identical to sequential execution.  Observers are not shipped
+        off the serial backend, matching
+        :func:`~repro.simulation.sweep.run_experiments`.
 
         With a run store (the runner's ``store`` policy), each seeded cell
         is looked up before anything is built: a repetition whose cells all
@@ -357,67 +399,10 @@ class ExperimentRunner:
             raise ConfigurationError(
                 "compare_on_shared_trace requires all specs to share the same workload"
             )
-        seeds = self.repetition_seeds()
+        flat = self._execute_grid(experiments, n_workers, backend, queue_dir)
         per_spec_runs: Dict[int, List[RunResult]] = {i: [] for i in range(len(experiments))}
-        if n_workers > 1:
-            from .parallel import run_specs_parallel  # local: avoid import cycle
-
-            # Repetition-major order keeps one repetition's specs (which
-            # share a trace) consecutive, so chunked dispatch lets the
-            # per-worker trace cache serve a whole panel from one build.
-            # The store layer inside run_specs_parallel serves hits from
-            # the parent and dispatches only miss cells to the pool.
-            grid = [
-                experiment.with_seed(seed)
-                for seed in seeds
-                for experiment in experiments
-            ]
-            flat = run_specs_parallel(grid, n_workers=n_workers, store=self.store)
-            for j, result in enumerate(flat):
-                per_spec_runs[j % len(experiments)].append(result)
-        else:
-            run_store = resolve_store(self.store)
-            for seed in seeds:
-                seeded = [experiment.with_seed(seed) for experiment in experiments]
-                results_by_index: Dict[int, RunResult] = {}
-                fingerprints: Dict[int, str] = {}
-                if run_store is not None:
-                    for i, experiment in enumerate(seeded):
-                        if not _store_eligible(experiment, run_store):
-                            continue
-                        fingerprints[i] = fingerprint_spec(experiment)
-                        if self.observers:
-                            continue  # observers must see the run: no hits
-                        cached = run_store.get(fingerprints[i])
-                        if cached is not None:
-                            results_by_index[i] = replace(
-                                cached, spec=experiment.to_dict()
-                            )
-                pending = [i for i in range(len(seeded)) if i not in results_by_index]
-                if pending and seeded[pending[0]].traffic.streaming:
-                    # One shared stream, generated once and teed to every
-                    # pending algorithm; bit-identical to the materialized
-                    # branch below (and to stored cells).
-                    stream_results = self._run_shared_stream(
-                        [seeded[i] for i in pending]
-                    )
-                    for i, result in zip(pending, stream_results):
-                        if run_store is not None and i in fingerprints:
-                            run_store.put(result, fingerprint=fingerprints[i])
-                        results_by_index[i] = result
-                elif pending:
-                    # All seeded specs share traffic and seed, hence the same
-                    # trace; a fully warm repetition skips even this build.
-                    shared_trace = seeded[pending[0]].build_trace()
-                    for i in pending:
-                        result = execute_experiment_spec(
-                            seeded[i], trace=shared_trace, observers=self.observers
-                        )
-                        if run_store is not None and i in fingerprints:
-                            run_store.put(result, fingerprint=fingerprints[i])
-                        results_by_index[i] = result
-                for i in range(len(seeded)):
-                    per_spec_runs[i].append(results_by_index[i])
+        for j, result in enumerate(flat):
+            per_spec_runs[j % len(experiments)].append(result)
         results: Dict[str, AggregateResult] = {}
         for i in range(len(experiments)):
             agg = aggregate_runs(per_spec_runs[i])
@@ -427,50 +412,11 @@ class ExperimentRunner:
     def _run_shared_stream(self, seeded: Sequence[ExperimentSpec]) -> List[RunResult]:
         """Replay one shared workload stream through several algorithms at once.
 
-        The stream is generated exactly once: :meth:`TraceStream.tee` fans
-        the segments out with bounded lookahead and the per-algorithm
-        streaming drivers are fed in lockstep (one segment each per round),
-        so peak memory stays bounded by the chunk size.  Algorithms that
-        need the whole trace up front (``requires_full_trace``) share a
-        single materialized copy assembled from one extra tee branch.
-        Results are bit-identical to replaying a materialized shared trace.
+        Kept as a thin delegation to
+        :func:`repro.exec.runtime.run_shared_stream` (where the lockstep
+        tee engine now lives, shared with the queue workers) so existing
+        callers and subclasses keep working.
         """
-        stream = seeded[0].build_stream()
-        algorithms = []
-        configs = []
-        for spec in seeded:
-            topology = spec.build_topology(stream)
-            algorithms.append(spec.build_algorithm(topology))
-            configs.append(replace(spec.simulation, seed=spec.seed))
-        online = [i for i, a in enumerate(algorithms) if not a.requires_full_trace]
-        offline = [i for i, a in enumerate(algorithms) if a.requires_full_trace]
-        children = stream.tee(len(online) + (1 if offline else 0))
-        drivers = {
-            i: StreamingSimulation(
-                algorithms[i],
-                stream.metadata,
-                config=configs[i],
-                observers=self.observers,
-                n_requests=stream.n_requests,
-                source=children[k],
-            )
-            for k, i in enumerate(online)
-        }
-        collected: List[Trace] = []
-        iterators = [iter(child) for child in children]
-        for segments in zip(*iterators):
-            for k, i in enumerate(online):
-                drivers[i].feed(segments[k])
-            if offline:
-                collected.append(segments[-1])
-        results: List[Optional[RunResult]] = [None] * len(seeded)
-        for i in online:
-            results[i] = replace(drivers[i].finish(), spec=seeded[i].to_dict())
-        if offline:
-            full = TraceStream(collected, stream.metadata).materialize()
-            for i in offline:
-                result = run_simulation(
-                    algorithms[i], full, configs[i], observers=self.observers
-                )
-                results[i] = replace(result, spec=seeded[i].to_dict())
-        return results
+        from ..exec.runtime import run_shared_stream
+
+        return run_shared_stream(seeded, self.observers)

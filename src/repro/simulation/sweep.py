@@ -17,19 +17,21 @@ from ..config import SweepConfig
 from ..errors import ConfigurationError
 from ..experiments.observers import SimulationObserver
 from ..experiments.specs import ExperimentSpec, expand_grid
-from .parallel import run_specs_parallel
 from .results import AggregateResult, RunResult, aggregate_runs
-from .runner import AnySpec, as_experiment_spec, execute_experiment_spec
+from .runner import AnySpec, as_experiment_spec
 
 __all__ = ["run_experiments", "run_sweep"]
 
 
 def run_experiments(
     specs: Sequence[AnySpec],
-    n_workers: int = 1,
+    n_workers: Optional[int] = None,
     observers: Iterable[SimulationObserver] = (),
     store=None,
-) -> List[AggregateResult]:
+    on_error: str = "raise",
+    backend: Optional[str] = None,
+    queue_dir: Optional[str] = None,
+) -> List:
     """Execute each spec with its own repeat/seed policy and aggregate.
 
     Every spec contributes ``spec.repeats`` runs, seeded by
@@ -43,19 +45,30 @@ def run_experiments(
         structured :class:`~repro.experiments.specs.ExperimentSpec`, or plain
         spec dicts).
     n_workers:
-        If greater than 1, individual runs are distributed over a process
-        pool of that size.
+        Worker count; defaults to ``REPRO_WORKERS`` if set, else 1.  Values
+        above 1 shard the expanded runs over the resolved scheduler backend.
     observers:
-        Attached to every run when executing in-process (``n_workers <= 1``);
-        observers are not shipped to pool workers.
+        Attached to every run when executing on the serial backend;
+        observers are not shipped to pool or queue workers.
     store:
         Run-store policy (see :func:`repro.store.resolve_store`; ``None``
         defers to ``REPRO_RUN_STORE``, ``False`` forces cold runs).  With a
-        store, each expanded (spec, repetition-seed) run is looked up
-        before computing and written back after, making repeated sweeps
-        incremental — only cells whose spec or seed changed recompute.
-        Hits are bit-identical to the cold runs that produced them; all
-        store writes happen in this (the parent) process.
+        store, each expanded (spec, repetition-seed) run is looked up by
+        the planner before computing and written back after, making
+        repeated sweeps incremental — only cells whose spec or seed changed
+        recompute.  Hits are bit-identical to the cold runs that produced
+        them.
+    on_error:
+        ``"raise"`` (default) aborts on the first failing run with
+        :class:`~repro.errors.WorkerExecutionError`; ``"collect"`` keeps
+        going and returns a :class:`~repro.exec.plan.RunFailure` record in
+        the failing *spec's* slot (the spec's first failed repetition) so a
+        long sweep reports every broken cell in one pass.
+    backend:
+        Scheduler backend name (``"serial"``, ``"pool"``, ``"queue"``);
+        ``None`` picks serial for one worker and the pool otherwise.
+    queue_dir:
+        Queue directory for ``backend="queue"`` (temporary when omitted).
     """
     experiments = [as_experiment_spec(spec) for spec in specs]
     if not experiments:
@@ -67,19 +80,35 @@ def run_experiments(
         group_sizes.append(len(seeds))
         expanded.extend(experiment.with_seed(seed) for seed in seeds)
 
-    if n_workers <= 1:
-        flat = [
-            execute_experiment_spec(spec, observers=observers, store=store)
-            for spec in expanded
-        ]
-    else:
-        flat = run_specs_parallel(expanded, n_workers=n_workers, store=store)
+    from ..exec import (
+        build_execution_plan,
+        execute_plan,
+        resolve_backend_name,
+        resolve_worker_count,
+    )
 
-    results: List[AggregateResult] = []
+    workers = resolve_worker_count(n_workers, fallback=1)
+    name = resolve_backend_name(backend, workers)
+    plan = build_execution_plan(
+        expanded,
+        store=store,
+        on_error=on_error,
+        observers=tuple(observers) if name == "serial" else (),
+    )
+    flat = execute_plan(plan, backend=name, n_workers=workers, queue_dir=queue_dir)
+
+    results: List = []
     cursor = 0
     for size in group_sizes:
-        results.append(aggregate_runs(flat[cursor : cursor + size]))
+        group = flat[cursor : cursor + size]
         cursor += size
+        failures = [run for run in group if not isinstance(run, RunResult)]
+        if failures:
+            # Under "collect" a broken cell yields its first failure record
+            # in place of an aggregate (aggregation needs every repetition).
+            results.append(failures[0])
+        else:
+            results.append(aggregate_runs(group))
     return results
 
 
@@ -92,13 +121,16 @@ def run_sweep(
     repetitions: int = 1,
     base_seed: int = 0,
     checkpoints: int = 10,
-    n_workers: int = 1,
+    n_workers: Optional[int] = None,
     observers: Iterable[SimulationObserver] = (),
     solver_backend: Optional[str] = None,
     rng_mode: Optional[str] = None,
     store=None,
     streaming: bool = False,
     chunk_size: Optional[int] = None,
+    on_error: str = "raise",
+    backend: Optional[str] = None,
+    queue_dir: Optional[str] = None,
 ) -> List[AggregateResult]:
     """Run every (algorithm, b, alpha) combination of ``sweep`` on one workload.
 
@@ -115,10 +147,10 @@ def run_sweep(
         via :class:`numpy.random.SeedSequence` so every configuration replays
         the same per-repetition workloads.
     n_workers:
-        If greater than 1, the individual runs are distributed over a process
-        pool of that size.
+        Worker count (defaults to ``REPRO_WORKERS`` if set, else 1); values
+        above 1 distribute the individual runs over the scheduler backend.
     observers:
-        Attached to in-process runs (``n_workers <= 1``).
+        Attached to runs on the serial backend only.
     solver_backend:
         Static blossom kernel for SO-BMA configurations (``None`` = library
         default).  When the grid sweeps several ``b`` values for ``so-bma``
@@ -136,6 +168,9 @@ def run_sweep(
         Replay each run's workload as a lazy trace stream of
         ``chunk_size``-request segments (bounded memory).  Results and
         store fingerprints are bit-identical to materialized runs.
+    on_error, backend, queue_dir:
+        Forwarded to :func:`run_experiments`: error policy and scheduler
+        backend selection.
     """
     if repetitions < 1:
         raise ConfigurationError(f"repetitions must be >= 1, got {repetitions}")
@@ -159,4 +194,12 @@ def run_sweep(
             "algorithm.alpha": [float(a) for a in sweep.alpha_values],
         },
     )
-    return run_experiments(specs, n_workers=n_workers, observers=observers, store=store)
+    return run_experiments(
+        specs,
+        n_workers=n_workers,
+        observers=observers,
+        store=store,
+        on_error=on_error,
+        backend=backend,
+        queue_dir=queue_dir,
+    )

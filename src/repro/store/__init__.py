@@ -48,6 +48,7 @@ from .run_store import (
     resolve_store,
     store_counters,
 )
+from .transfer import export_store, import_store
 from .statistics import (
     GroupStats,
     SampleStats,
@@ -75,6 +76,9 @@ __all__ = [
     "resolve_store",
     "store_counters",
     "reset_store_counters",
+    # transfer
+    "export_store",
+    "import_store",
     # statistics
     "SampleStats",
     "SpecHistory",

@@ -23,19 +23,27 @@ from repro.traffic import database_trace, uniform_random_trace, zipf_pair_trace
 
 
 def pytest_collection_modifyitems(config, items):
-    """Auto-skip ``parallel``-marked tests on single-CPU hosts.
+    """Auto-skip ``parallel``/``sched``-marked tests on single-CPU hosts.
 
     Process-pool sharding works on one CPU but only adds overhead there, and
     CI boxes with a single core should not pay for (or flake on) pool
     startup; the marker documents the requirement instead of each test
-    re-checking it.
+    re-checking it.  ``sched`` tests spawn real worker subprocesses and
+    follow the same rule, but honour ``REPRO_FORCE_SCHED`` as an escape
+    hatch so the tier can still be exercised deliberately on one core.
     """
     if (os.cpu_count() or 1) >= 2:
         return
     skip = pytest.mark.skip(reason="parallel tests need os.cpu_count() >= 2")
+    force_sched = bool(os.environ.get("REPRO_FORCE_SCHED", "").strip())
+    skip_sched = pytest.mark.skip(
+        reason="sched tests need os.cpu_count() >= 2 (set REPRO_FORCE_SCHED=1 to force)"
+    )
     for item in items:
         if "parallel" in item.keywords:
             item.add_marker(skip)
+        if "sched" in item.keywords and not force_sched:
+            item.add_marker(skip_sched)
 
 
 @pytest.fixture(autouse=True)
