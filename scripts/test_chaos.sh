@@ -1,0 +1,23 @@
+#!/bin/sh
+# chaos CI tier: certify the hardened failure semantics under injected faults.
+#   * tests/test_faults.py — the deterministic injector (REPRO_FAULTS
+#     parsing, seeded decision stream, zero-overhead off path), the
+#     retry/backoff IO layer, store quarantine/degraded-mode behaviour,
+#     and the chaos differentials: a matrix run under injected transient
+#     faults (osfail/delay on store and queue sites) must be bit-identical
+#     to the fault-free run on the serial, pool, and queue backends, and a
+#     worker killed at a random injected site must leave state that
+#     `repro doctor` reports clean after requeue;
+#   * tests/test_doctor.py — the audit/repair surface itself (stale tmp
+#     files, corrupt entries, stale index, orphaned leases, expired
+#     claims, truncated import tarballs) and the doctor CLI exit codes.
+# Chaos tests that spawn worker subprocesses also carry the sched marker
+# and auto-skip when os.cpu_count() < 2; set REPRO_FORCE_SCHED=1 to force
+# them on a single-core host.  Extra pytest arguments are passed through.
+set -eu
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    exec python -m pytest -q -m chaos \
+    tests/test_faults.py \
+    tests/test_doctor.py \
+    "$@"

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -220,6 +221,22 @@ def build_parser() -> argparse.ArgumentParser:
         "import", help="merge a tarball exported elsewhere into this store "
                        "(identical-or-error on fingerprint conflicts)")
     r_imp.add_argument("tarball", help="tarball written by `repro runs export`")
+
+    p_doc = sub.add_parser(
+        "doctor", help="audit a run store and/or a queue directory for crash "
+                       "wreckage (stale tmp files, corrupt entries, orphaned "
+                       "leases) and optionally repair it")
+    p_doc.add_argument("--store", default=None, metavar="DIR",
+                       help="run-store directory to audit (default: the "
+                            "REPRO_RUN_STORE environment variable)")
+    p_doc.add_argument("--queue", default=None, metavar="DIR",
+                       help="work-queue directory to audit")
+    p_doc.add_argument("--fix", action="store_true",
+                       help="apply the safe repairs (reap stale tmp files, "
+                            "quarantine corrupt entries, rebuild the index, "
+                            "drop orphaned leases, requeue expired claims)")
+    p_doc.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit the report as JSON instead of text")
     return parser
 
 
@@ -574,7 +591,46 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     )
     print(f"worker {stats['worker']}: {stats['completed']} task(s) completed, "
           f"{stats['failed_attempts']} failed attempt(s)")
+    anomalies = {k: v for k, v in stats.get("queue", {}).items() if v}
+    if anomalies:
+        listing = ", ".join(f"{k}: {v}" for k, v in sorted(anomalies.items()))
+        print(f"  absorbed anomalies: {listing}")
     return 0
+
+
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    from .doctor import audit_queue, audit_store
+
+    reports = []
+    if args.store is not None or os.environ.get("REPRO_RUN_STORE"):
+        reports.append(audit_store(_require_store(args), fix=args.fix))
+    if args.queue is not None:
+        from .exec.queue import WorkQueue
+
+        reports.append(audit_queue(WorkQueue.open(args.queue), fix=args.fix))
+    if not reports:
+        raise ConfigurationError(
+            "nothing to audit: pass --store DIR (or set REPRO_RUN_STORE) "
+            "and/or --queue DIR"
+        )
+    if args.as_json:
+        print(json.dumps([r.to_dict() for r in reports], indent=2))
+        return 0 if all(r.clean() for r in reports) else 1
+    clean = True
+    for report in reports:
+        print(f"{report.area} at {report.root}:")
+        if not report.findings:
+            print("  clean")
+        for finding in report.findings:
+            status = "fixed" if finding.fixed else (
+                "fixable with --fix" if finding.fixable else "manual attention"
+            )
+            print(f"  [{finding.kind}] {finding.path}: {finding.detail} ({status})")
+        for key, value in sorted(report.info.items()):
+            if value:
+                print(f"  {key}: {value}")
+        clean = clean and report.clean()
+    return 0 if clean else 1
 
 
 _RUNS_COMMANDS = {
@@ -612,6 +668,7 @@ _COMMANDS = {
     "list": _cmd_list,
     "runs": _cmd_runs,
     "worker": _cmd_worker,
+    "doctor": _cmd_doctor,
 }
 
 

@@ -25,11 +25,20 @@ Workers execute whole task groups in lockstep (shared trace built once per
 task) and seed their solver memo from the plan's pre-solved SO-BMA rounds,
 so results are bit-identical to serial execution — including after a worker
 is killed mid-task and its lease requeues.
+
+Failure semantics: queue IO goes through :mod:`repro.ioutil` (bounded
+retry with backoff for transient ``OSError``, fault-injection hooks from
+:mod:`repro.faults` at the ``queue.*``/``worker.crash`` sites), every
+swallowed anomaly is counted on :class:`QueueCounters` and logged at debug
+level (``repro.exec.queue``), and :meth:`WorkQueue.requeue_expired` also
+reaps stale ``.*.tmp-*`` files left by writers killed mid-rename.
+``repro doctor --queue DIR`` audits all of it.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
 import shutil
 import subprocess
@@ -37,21 +46,27 @@ import sys
 import tempfile
 import threading
 import time
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..errors import ConfigurationError, SimulationError, WorkerExecutionError
+from ..faults import fault_point
+from ..ioutil import atomic_write_json, read_json, reap_stale_tmp
 from ..simulation.results import RunResult
-from ..store.run_store import _atomic_write_json, resolve_store
+from ..store.run_store import resolve_store
 from .plan import ExecutionPlan, PlanTask
 
 __all__ = [
+    "QueueCounters",
     "WorkQueue",
     "run_worker",
     "run_queue_backend",
     "DEFAULT_LEASE_SECONDS",
     "DEFAULT_POLL_INTERVAL",
 ]
+
+logger = logging.getLogger(__name__)
 
 DEFAULT_LEASE_SECONDS = 30.0
 DEFAULT_POLL_INTERVAL = 0.2
@@ -60,8 +75,51 @@ _META_NAME = "queue.json"
 _STOP_NAME = "stop"
 
 
+@dataclass
+class QueueCounters:
+    """Per-queue-instance tallies of every anomaly the queue absorbs.
+
+    The queue's failure handling is deliberately non-fatal (a lost race is
+    normal, a torn read is retried next poll), but *silent* absorption
+    made the paths untestable and invisible.  Every absorbed event now
+    counts here and logs at debug level; ``repro doctor`` and worker exit
+    summaries report the totals.
+    """
+
+    claim_failures: int = 0  #: OSError renaming a task into claimed/
+    unreadable_tasks: int = 0  #: claimed task payloads that failed to parse
+    lease_read_failures: int = 0  #: torn/unreadable lease files
+    lease_write_failures: int = 0  #: lease writes that failed past retries
+    heartbeat_failures: int = 0  #: heartbeat renewals absorbed by the thread
+    torn_results: int = 0  #: result/failure files unreadable mid-scan
+    late_results: int = 0  #: expired claims whose result had already landed
+    requeued: int = 0  #: tasks requeued with a bumped attempt counter
+    terminal_failures: int = 0  #: tasks failed past max_attempts
+    tmp_reaped: int = 0  #: stale tmp files removed by requeue_expired
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "claim_failures": self.claim_failures,
+            "unreadable_tasks": self.unreadable_tasks,
+            "lease_read_failures": self.lease_read_failures,
+            "lease_write_failures": self.lease_write_failures,
+            "heartbeat_failures": self.heartbeat_failures,
+            "torn_results": self.torn_results,
+            "late_results": self.late_results,
+            "requeued": self.requeued,
+            "terminal_failures": self.terminal_failures,
+            "tmp_reaped": self.tmp_reaped,
+        }
+
+    def any_nonzero(self) -> bool:
+        return any(self.to_dict().values())
+
+
 class WorkQueue:
     """One shared queue directory (see module docstring)."""
+
+    #: Tmp siblings older than this are orphans from killed writers.
+    TMP_MAX_AGE_SECONDS = 3600.0
 
     def __init__(self, root: Path, meta: Mapping[str, Any]):
         self.root = Path(root)
@@ -72,6 +130,7 @@ class WorkQueue:
         self.failed_dir = self.root / "failed"
         self.workers_dir = self.root / "workers"
         self.logs_dir = self.root / "logs"
+        self.counters = QueueCounters()
 
     # -- lifecycle -------------------------------------------------------
 
@@ -108,7 +167,7 @@ class WorkQueue:
             queue.logs_dir,
         ):
             d.mkdir(parents=True, exist_ok=True)
-        _atomic_write_json(queue.root / _META_NAME, meta)
+        atomic_write_json(queue.root / _META_NAME, meta, site="queue.task_write")
         return queue
 
     @classmethod
@@ -162,7 +221,7 @@ class WorkQueue:
     def enqueue(self, payload: Mapping[str, Any]) -> str:
         """Add a task (attempt 1); returns the task file name."""
         name = self.task_file_name(str(payload["id"]), 1)
-        _atomic_write_json(self.tasks_dir / name, dict(payload))
+        atomic_write_json(self.tasks_dir / name, dict(payload), site="queue.task_write")
         return name
 
     def request_stop(self) -> None:
@@ -189,13 +248,27 @@ class WorkQueue:
                 continue
             target = self.claimed_dir / name
             try:
+                fault_point("queue.claim")
                 os.replace(self.tasks_dir / name, target)
             except FileNotFoundError:
                 continue  # lost the race for this one; try the next
-            self._write_lease(name, worker_id)
+            except OSError as exc:
+                self.counters.claim_failures += 1
+                logger.debug("claim rename failed for %s: %s", name, exc)
+                continue
             try:
-                payload = json.loads(target.read_text(encoding="utf-8"))
+                self._write_lease(name, worker_id)
+            except OSError as exc:
+                # We still hold the claim; the heartbeat thread will keep
+                # retrying the lease, and a missing lease gets one grace
+                # period in requeue_expired before the claim is reaped.
+                self.counters.lease_write_failures += 1
+                logger.debug("initial lease write failed for %s: %s", name, exc)
+            try:
+                payload = read_json(target, site="queue.task_read")
             except (OSError, json.JSONDecodeError) as exc:
+                self.counters.unreadable_tasks += 1
+                logger.debug("unreadable task payload %s: %s", name, exc)
                 self.fail(
                     name,
                     f"unreadable task payload {name!r}: {exc}",
@@ -209,13 +282,14 @@ class WorkQueue:
         return self.claimed_dir / f"{name}.lease"
 
     def _write_lease(self, name: str, worker_id: str) -> None:
-        _atomic_write_json(
+        atomic_write_json(
             self._lease_path(name),
             {
                 "worker": worker_id,
                 "pid": os.getpid(),
                 "expires_at": time.time() + self.lease_seconds,
             },
+            site="queue.heartbeat",
         )
 
     def renew(self, name: str, worker_id: str) -> bool:
@@ -228,7 +302,11 @@ class WorkQueue:
     def complete(self, name: str, payload: Mapping[str, Any]) -> None:
         """Publish a task's result and release the claim."""
         task_id, _attempt = self.parse_name(name)
-        _atomic_write_json(self.results_dir / f"{task_id}.json", dict(payload))
+        atomic_write_json(
+            self.results_dir / f"{task_id}.json",
+            dict(payload),
+            site="queue.result_write",
+        )
         self._clear_claim(name)
 
     def fail(self, name: str, message: str, error_type: str) -> bool:
@@ -243,15 +321,14 @@ class WorkQueue:
                     claim_path, self.tasks_dir / self.task_file_name(task_id, attempt + 1)
                 )
             except FileNotFoundError:
-                pass  # someone else (an expiry reaper) already moved it
+                logger.debug(
+                    "requeue of %s lost a race (already moved by a reaper)", name
+                )
             self._lease_path(name).unlink(missing_ok=True)
+            self.counters.requeued += 1
             return True
-        task_payload: Optional[Dict[str, Any]] = None
-        try:
-            task_payload = json.loads(claim_path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
-            pass
-        _atomic_write_json(
+        task_payload = self._read_claim_payload(claim_path, name)
+        atomic_write_json(
             self.failed_dir / f"{task_id}.json",
             {
                 "id": task_id,
@@ -260,9 +337,22 @@ class WorkQueue:
                 "error_type": error_type,
                 "task": task_payload,
             },
+            site="queue.result_write",
         )
         self._clear_claim(name)
+        self.counters.terminal_failures += 1
         return False
+
+    def _read_claim_payload(
+        self, claim_path: Path, name: str
+    ) -> Optional[Dict[str, Any]]:
+        """Best-effort read of a claimed task's payload for failure records."""
+        try:
+            return read_json(claim_path, site="queue.task_read")
+        except (OSError, json.JSONDecodeError) as exc:
+            self.counters.unreadable_tasks += 1
+            logger.debug("claim payload for %s unreadable: %s", name, exc)
+            return None
 
     def _clear_claim(self, name: str) -> None:
         (self.claimed_dir / name).unlink(missing_ok=True)
@@ -282,6 +372,14 @@ class WorkQueue:
         """
         now = time.time()
         touched = 0
+        reaped = reap_stale_tmp(
+            [self.tasks_dir, self.claimed_dir, self.results_dir, self.failed_dir],
+            self.TMP_MAX_AGE_SECONDS,
+            now=now,
+        )
+        if reaped:
+            self.counters.tmp_reaped += len(reaped)
+            logger.debug("reaped %d stale tmp file(s): %s", len(reaped), reaped)
         try:
             names = sorted(os.listdir(self.claimed_dir))
         except FileNotFoundError:
@@ -297,7 +395,11 @@ class WorkQueue:
             lease: Optional[Dict[str, Any]] = None
             try:
                 lease = json.loads(self._lease_path(name).read_text(encoding="utf-8"))
-            except (OSError, json.JSONDecodeError):
+            except FileNotFoundError:
+                lease = None  # claim/lease writes are separate steps
+            except (OSError, json.JSONDecodeError) as exc:
+                self.counters.lease_read_failures += 1
+                logger.debug("unreadable lease for %s: %s", name, exc)
                 lease = None
             if lease is None:
                 # Claim/lease writes are not one atomic step; give a fresh
@@ -316,6 +418,8 @@ class WorkQueue:
             task_id, attempt = self.parse_name(name)
             if (self.results_dir / f"{task_id}.json").exists():
                 self._clear_claim(name)
+                self.counters.late_results += 1
+                logger.debug("late result for %s: claim cleaned up", name)
                 touched += 1
                 continue
             if attempt < self.max_attempts:
@@ -326,20 +430,18 @@ class WorkQueue:
                         self.tasks_dir / self.task_file_name(task_id, attempt + 1),
                     )
                 except FileNotFoundError:
-                    continue  # another reaper got there first
+                    logger.debug("requeue of %s lost a race with another reaper", name)
+                    continue
+                self.counters.requeued += 1
                 touched += 1
             else:
-                task_payload: Optional[Dict[str, Any]] = None
-                try:
-                    task_payload = json.loads(claim_path.read_text(encoding="utf-8"))
-                except (OSError, json.JSONDecodeError):
-                    pass
+                task_payload = self._read_claim_payload(claim_path, name)
                 specs_json = (
                     json.dumps(task_payload.get("specs"), sort_keys=True, default=repr)
                     if task_payload
                     else "<unreadable>"
                 )
-                _atomic_write_json(
+                atomic_write_json(
                     self.failed_dir / f"{task_id}.json",
                     {
                         "id": task_id,
@@ -351,8 +453,10 @@ class WorkQueue:
                         "error_type": "WorkerExecutionError",
                         "task": task_payload,
                     },
+                    site="queue.result_write",
                 )
                 self._clear_claim(name)
+                self.counters.terminal_failures += 1
                 touched += 1
         return touched
 
@@ -399,7 +503,9 @@ class _Heartbeat(threading.Thread):
             try:
                 if not self.queue.renew(self.name, self.worker_id):
                     return  # claim was reaped; the result write will be a late no-op
-            except OSError:  # pragma: no cover - transient FS hiccup: retry next beat
+            except OSError as exc:  # transient FS hiccup: retry next beat
+                self.queue.counters.heartbeat_failures += 1
+                logger.debug("heartbeat renewal failed for %s: %s", self.name, exc)
                 continue
 
     def stop(self) -> None:
@@ -431,6 +537,7 @@ def _process_claim(
     from ..matching.static_solver import solver_cache_info
     from .runtime import run_task_specs
 
+    fault_point("worker.crash")
     task_id, attempt = queue.parse_name(name)
     heartbeat = _Heartbeat(queue, name, worker_id)
     heartbeat.start()
@@ -456,6 +563,7 @@ def _process_claim(
                 entries.append(
                     {"index": index, "error": outcome.to_dict(), "attempts": attempt}
                 )
+        fault_point("worker.crash")
         queue.complete(
             name,
             {
@@ -517,10 +625,11 @@ def run_worker(
     from ..matching.static_solver import solver_cache_info
 
     stats["solver_cache"] = solver_cache_info()
+    stats["queue"] = queue.counters.to_dict()
     try:
-        _atomic_write_json(queue.workers_dir / f"{worker}.json", stats)
-    except OSError:  # pragma: no cover - stats are best-effort
-        pass
+        atomic_write_json(queue.workers_dir / f"{worker}.json", stats)
+    except OSError as exc:  # pragma: no cover - stats are best-effort
+        logger.debug("worker stats write failed for %s: %s", worker, exc)
     return stats
 
 
@@ -568,8 +677,11 @@ def _collect_outcomes(
             continue
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
-            continue  # appeared mid-scan; next poll sees the finished file
+        except (OSError, json.JSONDecodeError) as exc:
+            # Appeared mid-scan; the next poll sees the finished file.
+            queue.counters.torn_results += 1
+            logger.debug("torn result file %s: %s", path.name, exc)
+            continue
         for entry in payload.get("outcomes", []):
             index = int(entry["index"])
             if "result" in entry:
@@ -595,7 +707,9 @@ def _collect_outcomes(
             continue
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
+        except (OSError, json.JSONDecodeError) as exc:
+            queue.counters.torn_results += 1
+            logger.debug("torn failure file %s: %s", path.name, exc)
             continue
         task_payload = payload.get("task") or {}
         indices = [int(i) for i in task_payload.get("indices", [])]

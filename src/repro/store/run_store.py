@@ -26,6 +26,24 @@ Durability rules:
   (pool workers return results, they never touch the store), so this is
   the contract sweeps actually need.
 
+Failure semantics (all exercisable via :mod:`repro.faults`):
+
+* **Transient IO errors retry.**  Entry/index reads and writes go through
+  :mod:`repro.ioutil`'s bounded retry with exponential backoff
+  (``REPRO_IO_RETRIES`` / ``REPRO_IO_BACKOFF``).
+* **Corrupt entries quarantine, never abort.**  Every entry carries a
+  blake2b payload checksum; an unparseable or checksum-failing entry file
+  is moved to ``<root>/quarantine/`` with a :class:`RuntimeWarning` and a
+  counter bump, and the access behaves as a miss — a torn write on a
+  non-atomic filesystem costs one recomputation, not the whole run.
+* **A persistently unwritable store degrades gracefully.**  ``put``
+  failures past the retry budget warn once, count, and return — the run
+  continues cold and results are still produced.
+* **Stale tmp files are reaped.**  :meth:`RunStore.gc` removes orphaned
+  ``.*.tmp-*`` siblings left by writers killed between the tmp write and
+  the rename.  ``repro doctor`` audits (and ``--fix`` repairs) all of the
+  above.
+
 Configuration: pass a :class:`StoreConfig`/path explicitly, or set the
 ``REPRO_RUN_STORE`` environment variable to a directory path to give every
 execution entry point a default store (``0``/``off``/``false``/empty
@@ -34,16 +52,19 @@ disable it — see :func:`default_store`).
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import warnings
 from dataclasses import dataclass, field
 from datetime import datetime, timedelta, timezone
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from .._version import __version__
-from ..errors import ConfigurationError, SimulationError
+from ..errors import ConfigurationError
 from ..experiments.specs import ExperimentSpec
+from ..ioutil import atomic_write_json, read_json, reap_stale_tmp
 from ..simulation.results import RunResult
 from .fingerprint import SCHEMA_VERSION, fingerprint_spec
 
@@ -54,6 +75,7 @@ __all__ = [
     "RunEntry",
     "RunStore",
     "default_store",
+    "entry_checksum",
     "resolve_store",
     "store_counters",
     "reset_store_counters",
@@ -98,14 +120,31 @@ class StoreConfig:
 
 @dataclass
 class StoreCounters:
-    """Hit/miss/write tallies of one store instance (process-local)."""
+    """Hit/miss/write tallies of one store instance (process-local).
+
+    The failure-path counters make degradation observable without making
+    it fatal: ``quarantined`` counts corrupt entries sidelined to
+    ``quarantine/``, ``read_failures``/``write_failures`` count IO errors
+    that survived the retry budget (each then handled as a miss / a cold
+    continuation rather than an abort).
+    """
 
     hits: int = 0
     misses: int = 0
     writes: int = 0
+    quarantined: int = 0
+    read_failures: int = 0
+    write_failures: int = 0
 
     def to_dict(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "quarantined": self.quarantined,
+            "read_failures": self.read_failures,
+            "write_failures": self.write_failures,
+        }
 
 
 #: Process-wide tallies across every store instance, for benchmark
@@ -122,6 +161,8 @@ def store_counters() -> Dict[str, int]:
 def reset_store_counters() -> None:
     """Zero the process-wide counters (benchmark harness bookkeeping)."""
     _GLOBAL_COUNTERS.hits = _GLOBAL_COUNTERS.misses = _GLOBAL_COUNTERS.writes = 0
+    _GLOBAL_COUNTERS.quarantined = 0
+    _GLOBAL_COUNTERS.read_failures = _GLOBAL_COUNTERS.write_failures = 0
 
 
 @dataclass(frozen=True)
@@ -187,11 +228,36 @@ def _parse_iso(text: str) -> datetime:
     return stamp
 
 
-def _atomic_write_json(path: Path, payload: Any) -> None:
-    """Write JSON durably: full content to a temp sibling, then rename."""
-    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
-    tmp.write_text(json.dumps(payload, indent=2) + "\n")
-    os.replace(tmp, path)
+def _atomic_write_json(path: Path, payload: Any, site: str = "store.write") -> None:
+    """Write JSON durably (tmp sibling + rename), with retry + fault hooks.
+
+    Thin re-export of :func:`repro.ioutil.atomic_write_json`, kept under
+    its historical name because the queue and transfer layers share it.
+    """
+    atomic_write_json(path, payload, site=site)
+
+
+def entry_checksum(payload: Mapping[str, Any]) -> str:
+    """blake2b digest certifying an entry payload's content.
+
+    Hashes the sort-keyed compact JSON of the payload *minus* the
+    ``checksum`` field itself, so the stored value verifies the stored
+    bytes.  ``default=str`` keeps the digest total even for payloads that
+    smuggled in a non-JSON scalar — the digest must never raise.
+    """
+    body = {k: v for k, v in payload.items() if k != "checksum"}
+    text = json.dumps(body, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.blake2b(text.encode("utf-8"), digest_size=20).hexdigest()
+
+
+def _checksum_ok(payload: Mapping[str, Any]) -> bool:
+    """Whether a payload's stored checksum matches its content.
+
+    Entries written before checksums existed carry no ``checksum`` field
+    and are accepted as-is (JSON parse success is their only certificate).
+    """
+    stored = payload.get("checksum")
+    return stored is None or stored == entry_checksum(payload)
 
 
 class RunStore:
@@ -223,6 +289,7 @@ class RunStore:
         self.config = config
         self.counters = StoreCounters()
         self._index: Optional[Dict[str, RunEntry]] = None
+        self._warned_unwritable = False
 
     # -- layout ----------------------------------------------------------
 
@@ -237,6 +304,11 @@ class RunStore:
     @property
     def index_path(self) -> Path:
         return self.config.root / "index.json"
+
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where corrupt/checksum-failing entry files are sidelined."""
+        return self.config.root / "quarantine"
 
     def entry_path(self, fingerprint: str) -> Path:
         """``runs/<fp[:shard_width]>/<fp>.json`` for a fingerprint."""
@@ -267,10 +339,10 @@ class RunStore:
             }
         except FileNotFoundError:
             entries = self._scan() if self.runs_dir.exists() else {}
-        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-            # The index is derived state: a torn or stale file (e.g. from a
-            # killed writer on a non-atomic filesystem) is rebuilt, never
-            # trusted over the entry files themselves.
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+            # The index is derived state: a torn, stale, or unreadable file
+            # (e.g. from a killed writer on a non-atomic filesystem) is
+            # rebuilt, never trusted over the entry files themselves.
             entries = self._scan()
         self._index = entries
         return entries
@@ -281,9 +353,11 @@ class RunStore:
             return entries
         for path in sorted(self.runs_dir.glob("*/*.json")):
             try:
-                payload = json.loads(path.read_text())
+                payload = read_json(path, site="store.read")
+                if not _checksum_ok(payload):
+                    continue  # doctor/get quarantine it; never index it
                 entries[payload["fingerprint"]] = self._entry_from_payload(payload)
-            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
                 continue  # a torn file is unreadable, not fatal to the rest
         return entries
 
@@ -307,15 +381,75 @@ class RunStore:
 
     def _write_index(self) -> None:
         entries = self._load_index()
-        _atomic_write_json(
-            self.index_path,
-            {
-                "format": STORE_FORMAT,
-                "schema_version": SCHEMA_VERSION,
-                "updated_at": _utcnow_iso(),
-                "entries": {fp: entry.to_dict() for fp, entry in entries.items()},
-            },
+        try:
+            atomic_write_json(
+                self.index_path,
+                {
+                    "format": STORE_FORMAT,
+                    "schema_version": SCHEMA_VERSION,
+                    "updated_at": _utcnow_iso(),
+                    "entries": {fp: entry.to_dict() for fp, entry in entries.items()},
+                },
+                site="store.index_write",
+            )
+        except OSError as exc:
+            # The index is derived state: failing to refresh it degrades
+            # `list_runs` freshness for *other* processes (this one keeps
+            # its in-memory copy) and is rebuilt by the next reader anyway.
+            self._note_write_failure("index write", exc)
+
+    def _note_write_failure(self, what: str, exc: OSError) -> None:
+        """Count a persistent write failure and warn once per store."""
+        self.counters.write_failures += 1
+        _GLOBAL_COUNTERS.write_failures += 1
+        if not self._warned_unwritable:
+            self._warned_unwritable = True
+            warnings.warn(
+                f"run store at {self.root} is not writable ({what} failed "
+                f"after retries: {exc}); continuing without persisting — "
+                "results are still computed and returned",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+
+    def _quarantine(self, path: Path, reason: str) -> Optional[Path]:
+        """Sideline a corrupt entry file into ``quarantine/``; best-effort.
+
+        Returns the quarantine destination, or ``None`` when the move
+        itself failed (in which case the caller has already treated the
+        access as a miss — the corrupt file just stays where it is until
+        the next access or a ``repro doctor --fix`` run).
+        """
+        self.counters.quarantined += 1
+        _GLOBAL_COUNTERS.quarantined += 1
+        destination = self.quarantine_dir / path.name
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            k = 1
+            while destination.exists():
+                destination = self.quarantine_dir / f"{path.stem}.{k}{path.suffix}"
+                k += 1
+            os.replace(path, destination)
+        except OSError:
+            destination = None
+        warnings.warn(
+            f"run-store entry {path.name} is corrupt ({reason}); "
+            + (
+                f"moved to {destination}"
+                if destination is not None
+                else "quarantine move failed, leaving it in place"
+            )
+            + " — treating the access as a miss",
+            RuntimeWarning,
+            stacklevel=4,
         )
+        # Drop it from the cached index (and best-effort from the on-disk
+        # one) so listings stop advertising an entry that no longer loads.
+        entries = self._load_index()
+        stem = path.name[: -len(".json")] if path.name.endswith(".json") else path.name
+        if entries.pop(stem, None) is not None:
+            self._write_index()
+        return destination
 
     def reindex(self) -> int:
         """Rebuild ``index.json`` from the entry files; returns the entry count."""
@@ -339,17 +473,37 @@ class RunStore:
     def get_payload(
         self, ref: Union[str, ExperimentSpec, Mapping[str, Any]]
     ) -> Optional[Dict[str, Any]]:
-        """The raw stored payload (result + provenance + history), or ``None``."""
+        """The raw stored payload (result + provenance + history), or ``None``.
+
+        A corrupt entry (unparseable JSON or a failing payload checksum) is
+        **quarantined** — moved to ``quarantine/`` with a
+        :class:`RuntimeWarning` and a counter bump — and the access returns
+        ``None`` so the caller recomputes; it never aborts the run.  A
+        transient read error that survives the retry budget likewise
+        degrades to a miss (counted in ``read_failures``).
+        """
         path = self.entry_path(self._key(ref))
         try:
-            return json.loads(path.read_text())
+            payload = read_json(path, site="store.read")
         except FileNotFoundError:
             return None
         except json.JSONDecodeError as exc:
-            raise SimulationError(
-                f"run-store entry {path} is corrupt ({exc}); delete it or run "
-                "RunStore.reindex() after removing the file"
-            ) from exc
+            self._quarantine(path, f"invalid JSON: {exc}")
+            return None
+        except OSError as exc:
+            self.counters.read_failures += 1
+            _GLOBAL_COUNTERS.read_failures += 1
+            warnings.warn(
+                f"run-store entry {path.name} unreadable after retries "
+                f"({exc}); treating the access as a miss",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        if not _checksum_ok(payload):
+            self._quarantine(path, "payload checksum mismatch")
+            return None
+        return payload
 
     def get(
         self, ref: Union[str, ExperimentSpec, Mapping[str, Any]]
@@ -412,8 +566,16 @@ class RunStore:
             "result": result.to_dict(),
             "history": history,
         }
-        path.parent.mkdir(parents=True, exist_ok=True)
-        _atomic_write_json(path, payload)
+        payload["checksum"] = entry_checksum(payload)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            atomic_write_json(path, payload, site="store.write")
+        except OSError as exc:
+            # Graceful degradation: a persistently unwritable store must
+            # not abort the run — the result was computed, the caller gets
+            # it, only the cache is lost.
+            self._note_write_failure(f"entry {fingerprint[:12]} write", exc)
+            return fingerprint
         entries = self._load_index()
         entries[fingerprint] = self._entry_from_payload(payload)
         self._write_index()
@@ -448,19 +610,42 @@ class RunStore:
         """Entries whose fingerprint starts with ``prefix`` (CLI ``show``)."""
         return [e for e in self.list_runs() if e.fingerprint.startswith(prefix)]
 
+    #: Tmp siblings older than this are orphans of a crashed writer, not a
+    #: live rename in flight (writes complete in well under a second).
+    TMP_MAX_AGE_SECONDS = 3600.0
+
+    def reap_tmp(
+        self,
+        max_age_seconds: float = TMP_MAX_AGE_SECONDS,
+        dry_run: bool = False,
+    ) -> List[Path]:
+        """Remove stale ``.*.tmp-*`` files under the store root.
+
+        A process killed between the tmp write and the ``os.replace`` —
+        exactly the crash window the atomic-write protocol protects entry
+        files from — leaves its tmp sibling behind forever.  ``gc`` calls
+        this automatically; it is also available standalone (and via
+        ``repro doctor --fix``).
+        """
+        return reap_stale_tmp([self.root], max_age_seconds, dry_run=dry_run)
+
     def gc(
         self,
         max_entries: Optional[int] = None,
         max_age_days: Optional[float] = None,
         dry_run: bool = False,
         now: Optional[datetime] = None,
+        tmp_max_age_seconds: float = TMP_MAX_AGE_SECONDS,
     ) -> List[str]:
         """Expire entries by age and/or count; returns deleted fingerprints.
 
         ``max_age_days`` removes entries last written longer ago than that;
         ``max_entries`` then keeps only the newest N.  ``dry_run`` reports
-        what *would* be deleted without touching disk.
+        what *would* be deleted without touching disk.  Every run also
+        reaps stale tmp files older than ``tmp_max_age_seconds`` (see
+        :meth:`reap_tmp`).
         """
+        self.reap_tmp(tmp_max_age_seconds, dry_run=dry_run)
         if max_entries is not None and max_entries < 0:
             raise ConfigurationError(f"max_entries must be >= 0, got {max_entries}")
         if max_age_days is not None and max_age_days < 0:

@@ -24,7 +24,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from .._version import __version__
 from ..errors import ConfigurationError, SimulationError
-from .run_store import RunStore, _atomic_write_json, _utcnow_iso
+from .run_store import RunStore, _atomic_write_json, _utcnow_iso, entry_checksum
 
 __all__ = ["export_store", "import_store", "MANIFEST_NAME"]
 
@@ -85,35 +85,56 @@ def _add_bytes(tar: tarfile.TarFile, name: str, data: bytes) -> None:
 
 
 def _read_members(tarball: Path) -> Dict[str, Dict[str, Any]]:
-    """Fingerprint -> entry payload from the tarball (validated, in memory)."""
+    """Fingerprint -> entry payload from the tarball (validated, in memory).
+
+    The whole archive is read and validated **before** the caller writes
+    anything, so a truncated download or a corrupt member can never leave a
+    half-imported store.  Truncation mid-archive surfaces as
+    :class:`~repro.errors.SimulationError` naming the member where the
+    archive became unreadable.
+    """
     entries: Dict[str, Dict[str, Any]] = {}
     try:
         tar = tarfile.open(tarball, "r:gz")
-    except (OSError, tarfile.TarError) as exc:
+    except (OSError, EOFError, tarfile.TarError) as exc:
         raise ConfigurationError(f"cannot read store tarball {tarball}: {exc}") from exc
     with tar:
         manifest: Optional[Mapping[str, Any]] = None
-        for member in tar.getmembers():
-            if not member.isfile():
-                continue
-            handle = tar.extractfile(member)
-            if handle is None:  # pragma: no cover - isfile() filtered already
-                continue
-            data = handle.read()
-            if member.name == MANIFEST_NAME:
-                manifest = json.loads(data)
-                continue
-            if not member.name.startswith(_ENTRY_PREFIX):
-                continue
-            try:
-                payload = json.loads(data)
-                fingerprint = str(payload["fingerprint"])
-            except (json.JSONDecodeError, KeyError, TypeError) as exc:
-                raise SimulationError(
-                    f"store tarball member {member.name!r} is not a valid "
-                    f"run-store entry: {exc}"
-                ) from exc
-            entries[fingerprint] = payload
+        # Iterate incrementally (not getmembers()) so that when a truncated
+        # archive dies mid-read we still know the nearest member by name.
+        current: Optional[str] = None
+        try:
+            member = tar.next()
+            while member is not None:
+                current = member.name
+                if member.isfile():
+                    handle = tar.extractfile(member)
+                    if handle is None:  # pragma: no cover - isfile() filtered
+                        member = tar.next()
+                        continue
+                    data = handle.read()
+                    if member.name == MANIFEST_NAME:
+                        manifest = json.loads(data)
+                    elif member.name.startswith(_ENTRY_PREFIX):
+                        try:
+                            payload = json.loads(data)
+                            fingerprint = str(payload["fingerprint"])
+                        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                            raise SimulationError(
+                                f"store tarball member {member.name!r} is not a "
+                                f"valid run-store entry: {exc}; nothing was "
+                                "imported"
+                            ) from exc
+                        entries[fingerprint] = payload
+                member = tar.next()
+        except (OSError, EOFError, tarfile.TarError) as exc:
+            where = (
+                f"at member {current!r}" if current is not None else "at the header"
+            )
+            raise SimulationError(
+                f"store tarball {tarball} is truncated or corrupt ({where}: "
+                f"{exc}); nothing was imported"
+            ) from exc
         if manifest is None:
             raise ConfigurationError(
                 f"{tarball} is not a run-store export (missing {MANIFEST_NAME})"
@@ -187,6 +208,7 @@ def import_store(store: RunStore, tarball) -> Dict[str, Any]:
         payload = dict(ours)
         payload["history"] = history
         payload["updated_at"] = _utcnow_iso()
+        payload["checksum"] = entry_checksum(payload)
         _atomic_write_json(path, payload)
         merged += 1
     store.reindex()

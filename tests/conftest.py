@@ -54,6 +54,24 @@ def _no_ambient_run_store(monkeypatch):
     monkeypatch.delenv("REPRO_RUN_STORE", raising=False)
 
 
+@pytest.fixture(autouse=True)
+def _no_ambient_faults(monkeypatch):
+    """Chaos hygiene: no test runs under a leaked fault plan.
+
+    ``REPRO_FAULTS`` in the environment would install faults in every
+    worker subprocess a test spawns, and an in-process plan left behind by
+    a buggy test would poison its neighbours; chaos tests opt in through
+    ``injected_faults``/``install_faults`` or explicit env manipulation.
+    """
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    monkeypatch.delenv("REPRO_FAULTS_SEED", raising=False)
+    from repro.faults import clear_faults
+
+    clear_faults()
+    yield
+    clear_faults()
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic RNG for tests."""

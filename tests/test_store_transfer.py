@@ -10,6 +10,7 @@ only when something is broken, so that is an error, never an overwrite.
 
 from __future__ import annotations
 
+import io
 import json
 import tarfile
 
@@ -20,7 +21,7 @@ from repro.errors import ConfigurationError, SimulationError
 from repro.experiments import ExperimentSpec
 from repro.simulation.parallel import run_specs_parallel
 from repro.store import RunStore, export_store, fingerprint_spec, import_store
-from repro.store.run_store import _atomic_write_json
+from repro.store.run_store import _atomic_write_json, entry_checksum
 from repro.store.transfer import MANIFEST_NAME
 
 pytestmark = pytest.mark.store
@@ -123,6 +124,9 @@ class TestImport:
         conflicted = fingerprint_spec(_specs(1)[0])
         payload = target.get_payload(conflicted)
         payload["result"]["total_routing_cost"] = -1.0
+        # Refresh the checksum: this models a *genuinely different* result
+        # (two stores disagreeing), not a corrupt entry (which quarantines).
+        payload["checksum"] = entry_checksum(payload)
         _atomic_write_json(target.entry_path(conflicted), payload)
         missing = fingerprint_spec(_specs(2)[1])
         with pytest.raises(SimulationError) as excinfo:
@@ -132,6 +136,56 @@ class TestImport:
         assert "nothing was imported" in message
         # The non-conflicting entry was NOT written either (all-or-nothing).
         assert target.get_payload(missing) is None
+
+    def test_truncated_tarball_aborts_before_any_write_naming_the_member(
+        self, tmp_path
+    ):
+        source = _populated_store(tmp_path)
+        tarball = tmp_path / "runs.tar.gz"
+        export_store(source, tarball)
+        # Truncate the download: keep the gzip header and most of the body
+        # but drop the tail, the classic interrupted-copy failure.
+        data = tarball.read_bytes()
+        truncated = tmp_path / "truncated.tar.gz"
+        truncated.write_bytes(data[: int(len(data) * 0.6)])
+        target = RunStore(tmp_path / "dst")
+        with pytest.raises(SimulationError) as excinfo:
+            import_store(target, truncated)
+        message = str(excinfo.value)
+        assert "truncated or corrupt" in message
+        assert "nothing was imported" in message
+        # The nearest member is named so the operator can see where it died.
+        assert "at member" in message or "at the header" in message
+        # Abort-before-write: the target store has no entries and no debris.
+        assert len(target.list_runs()) == 0
+        assert not target.runs_dir.exists() or not list(target.runs_dir.rglob("*.json"))
+
+    def test_corrupt_member_aborts_before_any_write_naming_the_member(
+        self, tmp_path
+    ):
+        source = _populated_store(tmp_path)
+        good = tmp_path / "runs.tar.gz"
+        export_store(source, good)
+        # Rebuild the tarball with one entry's bytes mangled into non-JSON.
+        bad = tmp_path / "mangled.tar.gz"
+        bad_member = None
+        with tarfile.open(good, "r:gz") as src, tarfile.open(bad, "w:gz") as dst:
+            for member in src.getmembers():
+                data = src.extractfile(member).read()
+                if bad_member is None and member.name.startswith("runs/"):
+                    bad_member = member.name
+                    data = data[: len(data) // 2] + b"\x00garbage"
+                info = tarfile.TarInfo(name=member.name)
+                info.size = len(data)
+                dst.addfile(info, io.BytesIO(data))
+        assert bad_member is not None
+        target = RunStore(tmp_path / "dst")
+        with pytest.raises(SimulationError) as excinfo:
+            import_store(target, bad)
+        message = str(excinfo.value)
+        assert bad_member in message
+        assert "nothing was imported" in message
+        assert len(target.list_runs()) == 0
 
     def test_not_an_export_is_a_configuration_error(self, tmp_path):
         bogus = tmp_path / "bogus.tar.gz"
